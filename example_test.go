@@ -1,0 +1,106 @@
+package sciview_test
+
+import (
+	"fmt"
+	"log"
+
+	"sciview"
+)
+
+// ExampleSystem demonstrates the end-to-end flow: generate a dataset,
+// define a join view, and run range and aggregation queries.
+func ExampleSystem() {
+	ds, err := sciview.GenerateOilReservoir(sciview.OilReservoirSpec{
+		Grid:         sciview.Dims{X: 8, Y: 8, Z: 4},
+		LeftPart:     sciview.Dims{X: 4, Y: 4, Z: 4},
+		RightPart:    sciview.Dims{X: 4, Y: 4, Z: 4},
+		StorageNodes: 2,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{ComputeNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9) // skip calibration for a deterministic example
+
+	if _, err := sys.Exec(`CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Exec(`SELECT COUNT(*) FROM V1 WHERE z = 0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid points in plane z=0: %g\n", res.Rows.Value(0, 0))
+	// Output:
+	// grid points in plane z=0: 64
+}
+
+// ExampleDatasetBuilder shows registering a custom dataset: your own
+// tables, chunk layouts, and placement.
+func ExampleDatasetBuilder() {
+	b := sciview.NewDatasetBuilder(1)
+	b.CreateTable("sensors", sciview.Schema{
+		{Name: "x", Coord: true},
+		{Name: "y", Coord: true},
+		{Name: "temp"},
+	})
+	b.AppendChunk("sensors", 0, "csv", [][]float32{
+		{0, 0, 21.5},
+		{1, 0, 22.0},
+		{0, 1, 20.8},
+		{1, 1, 23.1},
+	})
+	ds, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9)
+	res, err := sys.Exec(`SELECT MAX(temp) FROM sensors WHERE y = 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hottest sensor in row 1: %.1f\n", res.Rows.Value(0, 0))
+	// Output:
+	// hottest sensor in row 1: 23.1
+}
+
+// ExampleSystem_Explain shows the Query Planning Service's cost-model
+// decision without executing the join.
+func ExampleSystem_Explain() {
+	ds, err := sciview.GenerateOilReservoir(sciview.OilReservoirSpec{
+		Grid:         sciview.Dims{X: 16, Y: 16, Z: 8},
+		LeftPart:     sciview.Dims{X: 4, Y: 4, Z: 8},
+		RightPart:    sciview.Dims{X: 4, Y: 4, Z: 8},
+		StorageNodes: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
+		ComputeNodes: 2,
+		DiskReadBw:   2e6, DiskWriteBw: 2e6, NetBw: 4e6,
+		CPUSecPerOp: 2.5e-6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9)
+	if _, err := sys.Exec(`CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)`); err != nil {
+		log.Fatal(err)
+	}
+	info, err := sys.Explain("V")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A degree-1 connectivity graph: IJ avoids Grace Hash's bucket I/O.
+	fmt.Printf("planner chose: %s\n", info.Engine)
+	// Output:
+	// planner chose: ij
+}

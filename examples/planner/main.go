@@ -1,0 +1,98 @@
+// Cost-model-driven engine selection (paper Sections 5–6): the Query
+// Planning Service predicts Indexed Join and Grace Hash run times from
+// dataset parameters (T, c_R, c_S, n_e, record sizes) and system parameters
+// (nodes, bandwidths, CPU constants) and picks the winner.
+//
+// This example sweeps the dataset parameter n_e·c_S — the paper's Figure 4
+// axis — and shows the planner switching engines at the predicted
+// crossover, then verifies both engines against each other at one point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sciview"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	grid := sciview.Dims{X: 32, Y: 32, Z: 8}
+	right := sciview.Dims{X: 8, Y: 8, Z: 4} // fixed right partition
+	// Left partitions nested inside the right one: each right sub-table
+	// overlaps 2^d left sub-tables, scaling n_e·c_S by 2^d at constant
+	// edge ratio.
+	lefts := []sciview.Dims{
+		{X: 8, Y: 8, Z: 4},
+		{X: 4, Y: 8, Z: 4},
+		{X: 4, Y: 4, Z: 4},
+		{X: 2, Y: 4, Z: 4},
+		{X: 2, Y: 2, Z: 4},
+		{X: 2, Y: 2, Z: 2},
+		{X: 1, Y: 2, Z: 2},
+	}
+
+	fmt.Println("degree  n_e*c_S     planner   predicted IJ  predicted GH")
+	for d, left := range lefts {
+		ds, err := sciview.GenerateOilReservoir(sciview.OilReservoirSpec{
+			Grid: grid, LeftPart: left, RightPart: right,
+			StorageNodes: 4, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
+			ComputeNodes: 4,
+			// The 2006 balance point: slow disks relative to CPU…
+			DiskReadBw: 2e6, DiskWriteBw: 2e6, NetBw: 4e6,
+			// …and a PIII-era per-hash-op cost.
+			CPUSecPerOp: 2.5e-6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Exec(`CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)`); err != nil {
+			log.Fatal(err)
+		}
+		info, err := sys.Explain("V")
+		if err != nil {
+			log.Fatal(err)
+		}
+		neCs := (1 << d) * grid.X * grid.Y * grid.Z
+		fmt.Printf("%6d  %-10d  %-8s  %12v  %12v\n",
+			1<<d, neCs, info.Engine, info.PredictIJ, info.PredictGH)
+	}
+
+	// Execute both engines at the last (GH-favoring) point and check they
+	// agree on the result cardinality.
+	ds, err := sciview.GenerateOilReservoir(sciview.OilReservoirSpec{
+		Grid: grid, LeftPart: lefts[len(lefts)-1], RightPart: right,
+		StorageNodes: 4, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
+		ComputeNodes: 4,
+		DiskReadBw:   2e6, DiskWriteBw: 2e6, NetBw: 4e6,
+		CPUSecPerOp: 2.5e-6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Exec(`CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, engine := range []string{"ij", "gh"} {
+		if err := sys.ForceEngine(engine); err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Exec(`SELECT COUNT(*) FROM V`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d tuples in %v\n", engine, res.Plan.Tuples, res.Plan.Measured)
+	}
+}

@@ -1,0 +1,146 @@
+package sciview
+
+import (
+	"fmt"
+	"io"
+
+	"sciview/internal/harness"
+)
+
+// ExperimentSpec configures a reproduction of one of the paper's figures.
+// The zero value uses the standard configuration (5 storage + 5 compute
+// nodes, IDE-era disk/network bandwidths, PIII-era per-op CPU cost).
+type ExperimentSpec struct {
+	// Quick trims sweeps to a few sub-second points (for CI).
+	Quick bool
+	// StorageNodes/ComputeNodes override the 5+5 default.
+	StorageNodes int
+	ComputeNodes int
+	// Seed overrides the dataset seed.
+	Seed int64
+}
+
+func (s ExperimentSpec) config() harness.Config {
+	var cfg harness.Config
+	if s.Quick {
+		cfg = harness.Quick()
+	} else {
+		cfg = harness.Defaults()
+	}
+	if s.StorageNodes > 0 {
+		cfg.StorageNodes = s.StorageNodes
+	}
+	if s.ComputeNodes > 0 {
+		cfg.ComputeNodes = s.ComputeNodes
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg
+}
+
+// ExperimentRow is one sweep point: measured and model-predicted execution
+// times (seconds) for both join engines.
+type ExperimentRow struct {
+	Label      string
+	X          float64
+	IJMeasured float64
+	GHMeasured float64
+	IJModel    float64
+	GHModel    float64
+}
+
+// Experiment is one regenerated figure.
+type Experiment struct {
+	ID    string
+	Title string
+	XName string
+	Rows  []ExperimentRow
+	Notes []string
+}
+
+// Figures lists the reproducible experiment ids, in paper order.
+func Figures() []string {
+	return []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+}
+
+// RunExperiment regenerates one figure of the paper's evaluation.
+func RunExperiment(id string, spec ExperimentSpec) (*Experiment, error) {
+	cfg := spec.config()
+	var (
+		e   *harness.Experiment
+		err error
+	)
+	switch id {
+	case "fig4":
+		e, err = harness.Fig4(cfg)
+	case "fig5":
+		e, err = harness.Fig5(cfg)
+	case "fig6":
+		e, err = harness.Fig6(cfg)
+	case "fig7":
+		e, err = harness.Fig7(cfg)
+	case "fig8":
+		e, err = harness.Fig8(cfg)
+	case "fig9":
+		e, err = harness.Fig9(cfg)
+	default:
+		return nil, fmt.Errorf("sciview: unknown experiment %q (want one of %v)", id, Figures())
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Experiment{ID: e.ID, Title: e.Title, XName: e.XName, Notes: e.Notes}
+	for _, r := range e.Rows {
+		out.Rows = append(out.Rows, ExperimentRow{
+			Label: r.Label, X: r.X,
+			IJMeasured: r.IJMeasured, GHMeasured: r.GHMeasured,
+			IJModel: r.IJModel, GHModel: r.GHModel,
+		})
+	}
+	return out, nil
+}
+
+// RunAllExperiments regenerates every figure, printing each table to w as
+// it completes.
+func RunAllExperiments(spec ExperimentSpec, w io.Writer) error {
+	return harness.RunAndPrint(spec.config(), w)
+}
+
+// RunAblations runs the design-choice ablations (cache size vs the memory
+// assumption, IJ scheduling strategies, chunk placement), printing each
+// table to w.
+func RunAblations(spec ExperimentSpec, w io.Writer) error {
+	return harness.RunAblations(spec.config(), w)
+}
+
+// RunPaperScale prints the cost-model extrapolation of Figure 6 to the
+// paper's 2-billion-tuple endpoint at 2006 testbed parameters.
+func RunPaperScale(w io.Writer) {
+	harness.Fig6PaperScale().Print(w)
+}
+
+// CSV writes the experiment as a CSV table (label + measured and model
+// columns), for plotting.
+func (e *Experiment) CSV(w io.Writer) error {
+	h := e.internal()
+	return h.CSV(w)
+}
+
+func (e *Experiment) internal() harness.Experiment {
+	h := harness.Experiment{ID: e.ID, Title: e.Title, XName: e.XName, Notes: e.Notes}
+	for _, r := range e.Rows {
+		h.Rows = append(h.Rows, harness.Row{
+			Label: r.Label, X: r.X,
+			IJMeasured: r.IJMeasured, GHMeasured: r.GHMeasured,
+			IJModel: r.IJModel, GHModel: r.GHModel,
+		})
+	}
+	return h
+}
+
+// Print renders the experiment as an aligned text table.
+func (e *Experiment) Print(w io.Writer) {
+	h := e.internal()
+	h.Print(w)
+}

@@ -1,0 +1,3 @@
+module sciview
+
+go 1.22

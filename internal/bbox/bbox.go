@@ -1,0 +1,247 @@
+// Package bbox provides N-dimensional axis-aligned bounding boxes.
+//
+// Bounding boxes are the spatial metadata the paper attaches to every chunk
+// and sub-table: lower and upper bounds on coordinate and scalar attributes.
+// Attributes absent from a sub-table are modeled with the bounds
+// [-Inf, +Inf], so overlap tests remain well defined across heterogeneous
+// schemas.
+package bbox
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Box is an axis-aligned box in len(Lo) dimensions. A Box is valid when
+// len(Lo) == len(Hi) and Lo[d] <= Hi[d] for every dimension d. The bounds
+// are inclusive on both ends, matching the paper's chunk metadata
+// (e.g. [(0,0,0.2,0.3), (64,64,0.8,0.5)]).
+type Box struct {
+	Lo []float64
+	Hi []float64
+}
+
+// New returns a box with the given bounds. It panics if the slices have
+// different lengths; it does not check Lo <= Hi (use Valid for that), since
+// deliberately inverted boxes are used as "empty" accumulators.
+func New(lo, hi []float64) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("bbox: mismatched bounds: %d vs %d dims", len(lo), len(hi)))
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Empty returns an inverted box in dims dimensions, suitable as the identity
+// element for Union: Empty(d).Union(b) == b.
+func Empty(dims int) Box {
+	b := Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		b.Lo[d] = math.Inf(1)
+		b.Hi[d] = math.Inf(-1)
+	}
+	return b
+}
+
+// Universe returns a box covering all of R^dims. It models the paper's
+// convention that an attribute missing from a sub-table has bounds
+// [-Inf, +Inf].
+func Universe(dims int) Box {
+	b := Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		b.Lo[d] = math.Inf(-1)
+		b.Hi[d] = math.Inf(1)
+	}
+	return b
+}
+
+// Dims returns the dimensionality of the box.
+func (b Box) Dims() int { return len(b.Lo) }
+
+// Valid reports whether the box is well formed: equal-length bounds with
+// Lo[d] <= Hi[d] in every dimension.
+func (b Box) Valid() bool {
+	if len(b.Lo) != len(b.Hi) {
+		return false
+	}
+	for d := range b.Lo {
+		if !(b.Lo[d] <= b.Hi[d]) { // NaN-safe: NaN makes the box invalid
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the box is inverted in at least one dimension.
+func (b Box) IsEmpty() bool {
+	for d := range b.Lo {
+		if b.Lo[d] > b.Hi[d] {
+			return true
+		}
+	}
+	return len(b.Lo) == 0
+}
+
+// Clone returns a deep copy of the box.
+func (b Box) Clone() Box {
+	lo := make([]float64, len(b.Lo))
+	hi := make([]float64, len(b.Hi))
+	copy(lo, b.Lo)
+	copy(hi, b.Hi)
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Overlaps reports whether b and o intersect (inclusive bounds). Boxes of
+// different dimensionality never overlap.
+func (b Box) Overlaps(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	for d := range b.Lo {
+		if b.Lo[d] > o.Hi[d] || o.Lo[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether b fully contains o.
+func (b Box) Contains(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	for d := range b.Lo {
+		if o.Lo[d] < b.Lo[d] || o.Hi[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the point p lies inside b (inclusive).
+func (b Box) ContainsPoint(p []float64) bool {
+	if len(p) != len(b.Lo) {
+		return false
+	}
+	for d := range p {
+		if p[d] < b.Lo[d] || p[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest box containing both b and o.
+// The paper uses this to bound the result of joining two sub-tables.
+func (b Box) Union(o Box) Box {
+	if len(b.Lo) != len(o.Lo) {
+		panic(fmt.Sprintf("bbox: union of %d-dim and %d-dim boxes", len(b.Lo), len(o.Lo)))
+	}
+	u := b.Clone()
+	for d := range u.Lo {
+		u.Lo[d] = math.Min(u.Lo[d], o.Lo[d])
+		u.Hi[d] = math.Max(u.Hi[d], o.Hi[d])
+	}
+	return u
+}
+
+// Intersect returns the intersection of b and o. The result may be empty
+// (inverted); callers should check IsEmpty.
+func (b Box) Intersect(o Box) Box {
+	if len(b.Lo) != len(o.Lo) {
+		panic(fmt.Sprintf("bbox: intersect of %d-dim and %d-dim boxes", len(b.Lo), len(o.Lo)))
+	}
+	r := b.Clone()
+	for d := range r.Lo {
+		r.Lo[d] = math.Max(r.Lo[d], o.Lo[d])
+		r.Hi[d] = math.Min(r.Hi[d], o.Hi[d])
+	}
+	return r
+}
+
+// ExtendPoint grows b in place so it contains the point p.
+func (b *Box) ExtendPoint(p []float64) {
+	for d := range p {
+		if p[d] < b.Lo[d] {
+			b.Lo[d] = p[d]
+		}
+		if p[d] > b.Hi[d] {
+			b.Hi[d] = p[d]
+		}
+	}
+}
+
+// Volume returns the hyper-volume of the box; 0 for empty boxes. Degenerate
+// (zero-width) dimensions contribute factor 0, which is the conventional
+// R-tree behaviour; use Margin for tie-breaking among degenerate boxes.
+func (b Box) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for d := range b.Lo {
+		v *= b.Hi[d] - b.Lo[d]
+	}
+	return v
+}
+
+// Margin returns the sum of edge lengths (the L1 "perimeter" analogue).
+func (b Box) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	m := 0.0
+	for d := range b.Lo {
+		m += b.Hi[d] - b.Lo[d]
+	}
+	return m
+}
+
+// Enlargement returns how much b's volume would grow to accommodate o.
+// It is the R-tree insertion heuristic (Guttman's ChooseLeaf criterion).
+func (b Box) Enlargement(o Box) float64 {
+	return b.Union(o).Volume() - b.Volume()
+}
+
+// Equal reports exact equality of bounds.
+func (b Box) Equal(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	for d := range b.Lo {
+		if b.Lo[d] != o.Lo[d] || b.Hi[d] != o.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the center point of the box.
+func (b Box) Center() []float64 {
+	c := make([]float64, len(b.Lo))
+	for d := range c {
+		c[d] = (b.Lo[d] + b.Hi[d]) / 2
+	}
+	return c
+}
+
+// String renders the box as [(lo...),(hi...)], the notation the paper uses.
+func (b Box) String() string {
+	var sb strings.Builder
+	sb.WriteString("[(")
+	for d, v := range b.Lo {
+		if d > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%g", v)
+	}
+	sb.WriteString("), (")
+	for d, v := range b.Hi {
+		if d > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%g", v)
+	}
+	sb.WriteString(")]")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package bbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func box2(x0, y0, x1, y1 float64) Box {
+	return New([]float64{x0, y0}, []float64{x1, y1})
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dims")
+		}
+	}()
+	New([]float64{0}, []float64{1, 2})
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{box2(0, 0, 1, 1), true},
+		{box2(1, 0, 0, 1), false},
+		{box2(0, 0, 0, 0), true},
+		{New([]float64{math.NaN()}, []float64{1}), false},
+		{Empty(2), false},
+		{Universe(3), true},
+	}
+	for i, c := range cases {
+		if got := c.b.Valid(); got != c.want {
+			t.Errorf("case %d: Valid(%v) = %v, want %v", i, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := box2(0, 0, 10, 10)
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{box2(5, 5, 15, 15), true},
+		{box2(10, 10, 20, 20), true}, // inclusive touch
+		{box2(11, 0, 20, 10), false},
+		{box2(0, 11, 10, 20), false},
+		{box2(-5, -5, -1, -1), false},
+		{box2(2, 2, 3, 3), true}, // contained
+		{Universe(2), true},
+	}
+	for i, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: %v.Overlaps(%v) = %v, want %v", i, a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("case %d: overlap not symmetric", i)
+		}
+	}
+}
+
+func TestOverlapsDifferentDims(t *testing.T) {
+	a := box2(0, 0, 1, 1)
+	b := New([]float64{0}, []float64{1})
+	if a.Overlaps(b) {
+		t.Error("boxes of different dims must not overlap")
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := box2(0, 0, 10, 10)
+	if !a.Contains(box2(1, 1, 9, 9)) {
+		t.Error("should contain inner box")
+	}
+	if !a.Contains(a) {
+		t.Error("should contain itself")
+	}
+	if a.Contains(box2(1, 1, 11, 9)) {
+		t.Error("should not contain overflowing box")
+	}
+	if !Universe(2).Contains(a) {
+		t.Error("universe contains everything")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	a := box2(0, 0, 10, 10)
+	if !a.ContainsPoint([]float64{0, 10}) {
+		t.Error("corner point should be inside (inclusive)")
+	}
+	if a.ContainsPoint([]float64{0, 10.001}) {
+		t.Error("outside point reported inside")
+	}
+	if a.ContainsPoint([]float64{5}) {
+		t.Error("wrong-dim point reported inside")
+	}
+}
+
+func TestUnionEmptyIdentity(t *testing.T) {
+	a := box2(1, 2, 3, 4)
+	if got := Empty(2).Union(a); !got.Equal(a) {
+		t.Errorf("Empty.Union(a) = %v, want %v", got, a)
+	}
+	if got := a.Union(Empty(2)); !got.Equal(a) {
+		t.Errorf("a.Union(Empty) = %v, want %v", got, a)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := box2(0, 0, 10, 10)
+	b := box2(5, 5, 15, 15)
+	got := a.Intersect(b)
+	want := box2(5, 5, 10, 10)
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	c := box2(20, 20, 30, 30)
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("disjoint intersection should be empty")
+	}
+}
+
+func TestVolumeAndMargin(t *testing.T) {
+	a := box2(0, 0, 2, 3)
+	if v := a.Volume(); v != 6 {
+		t.Errorf("Volume = %g, want 6", v)
+	}
+	if m := a.Margin(); m != 5 {
+		t.Errorf("Margin = %g, want 5", m)
+	}
+	if v := Empty(2).Volume(); v != 0 {
+		t.Errorf("empty volume = %g, want 0", v)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := box2(0, 0, 2, 2)
+	b := box2(2, 0, 4, 2)
+	if e := a.Enlargement(b); e != 4 {
+		t.Errorf("Enlargement = %g, want 4", e)
+	}
+	if e := a.Enlargement(box2(0.5, 0.5, 1, 1)); e != 0 {
+		t.Errorf("Enlargement of contained box = %g, want 0", e)
+	}
+}
+
+func TestExtendPoint(t *testing.T) {
+	b := Empty(2)
+	b.ExtendPoint([]float64{3, 4})
+	b.ExtendPoint([]float64{-1, 2})
+	want := box2(-1, 2, 3, 4)
+	if !b.Equal(want) {
+		t.Errorf("ExtendPoint result = %v, want %v", b, want)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	c := box2(0, 2, 4, 6).Center()
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Center = %v, want [2 4]", c)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := box2(0, 0, 1, 2).String()
+	if s != "[(0, 0), (1, 2)]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// randBox generates a valid random box for property tests.
+func randBox(r *rand.Rand, dims int) Box {
+	b := Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		a, c := r.Float64()*100-50, r.Float64()*100-50
+		b.Lo[d] = math.Min(a, c)
+		b.Hi[d] = math.Max(a, c)
+	}
+	return b
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r, 3), randBox(r, 3)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOverlapIffNonEmptyIntersection(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r, 2), randBox(r, 2)
+		return a.Overlaps(b) == !a.Intersect(b).IsEmpty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionVolumeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r, 3), randBox(r, 3)
+		u := a.Union(b)
+		return u.Volume() >= a.Volume() && u.Volume() >= b.Volume()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r, 4), randBox(r, 4)
+		return a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package bds
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sciview/internal/metadata"
+	"sciview/internal/transport"
+	"sciview/internal/tuple"
+)
+
+// The RPC surface lets a BDS instance serve sub-tables across process
+// boundaries (cmd/sciview-node). Requests are gob-encoded; sub-table
+// responses use the tuple wire codec.
+
+// ServiceName returns the transport registration name of a node's BDS.
+func ServiceName(node int) string { return fmt.Sprintf("bds-%d", node) }
+
+// subTableReq is the wire request for the "subtable" method.
+type subTableReq struct {
+	Table   int32
+	Chunk   int32
+	Filter  *metadata.Range
+	Project []string
+}
+
+// Serve registers the service's RPC handler on tr under ServiceName.
+func (s *Service) Serve(tr transport.Transport) (io.Closer, error) {
+	return tr.Serve(ServiceName(s.node), s.handle)
+}
+
+// Handler exposes the RPC handler for transports that register services
+// with explicit addresses (the standalone node binary).
+func (s *Service) Handler() transport.Handler { return s.handle }
+
+func (s *Service) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "subtable":
+		var req subTableReq
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("bds: decoding request: %w", err)
+		}
+		st, err := s.SubTableProjected(tuple.ID{Table: req.Table, Chunk: req.Chunk}, req.Filter, req.Project)
+		if err != nil {
+			return nil, err
+		}
+		return tuple.Encode(nil, st), nil
+	default:
+		return nil, fmt.Errorf("bds: unknown method %q", method)
+	}
+}
+
+// Client is a remote BDS handle with the same SubTable signature as the
+// local Service.
+type Client struct {
+	conn transport.Conn
+}
+
+// ClientFromConn wraps an already-established connection (e.g. one dialed
+// by address across processes).
+func ClientFromConn(conn transport.Conn) *Client { return &Client{conn: conn} }
+
+// DialNode connects to the BDS of the given storage node.
+func DialNode(tr transport.Transport, node int) (*Client, error) {
+	conn, err := tr.Dial(ServiceName(node))
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// SubTable fetches a sub-table from the remote BDS.
+func (c *Client) SubTable(id tuple.ID, filter *metadata.Range) (*tuple.SubTable, error) {
+	return c.SubTableProjected(id, filter, nil)
+}
+
+// SubTableProjected fetches with projection pushdown.
+func (c *Client) SubTableProjected(id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+	var buf bytes.Buffer
+	req := subTableReq{Table: id.Table, Chunk: id.Chunk, Filter: filter, Project: project}
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, fmt.Errorf("bds: encoding request: %w", err)
+	}
+	resp, err := c.conn.Call("subtable", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := tuple.Decode(resp)
+	return st, err
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

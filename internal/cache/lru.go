@@ -1,0 +1,206 @@
+// Package cache implements the framework's Caching Service: a byte-bounded
+// LRU cache of recently accessed objects, used by compute-node QES
+// instances to avoid re-fetching sub-tables from storage nodes.
+//
+// The paper assumes LRU replacement ("we choose the cache replacement
+// policy to be LRU, since this is a reasonable policy in many cases and
+// commonly used"); under the IJ scheduler's memory assumption no sub-table
+// is evicted while still needed, and the hit/miss statistics let tests and
+// the harness verify that.
+package cache
+
+import "sync"
+
+// LRU is a byte-capacity-bounded least-recently-used cache mapping keys of
+// type K to values of type V. All methods are safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[K]*node[K, V]
+	head     *node[K, V] // most recently used
+	tail     *node[K, V] // least recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+
+	onEvict func(K, V)
+}
+
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	size       int64
+	prev, next *node[K, V]
+}
+
+// NewLRU returns a cache that holds at most capacity bytes of values
+// (as reported by the size argument to Put). A zero or negative capacity
+// yields a cache that stores nothing — every Get misses.
+func NewLRU[K comparable, V any](capacity int64) *LRU[K, V] {
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V]),
+	}
+}
+
+// OnEvict registers fn to be called (outside critical operations but under
+// the cache lock) whenever an entry is evicted or displaced. Used by tests
+// and by spill-accounting.
+func (c *LRU[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// Contains reports whether key is cached without updating recency or stats.
+func (c *LRU[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put inserts or replaces the value for key, recording its size in bytes,
+// and evicts least-recently-used entries until the capacity constraint
+// holds. Values larger than the whole capacity are not cached at all.
+func (c *LRU[K, V]) Put(key K, val V, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.used -= old.size
+		c.unlink(old)
+		delete(c.entries, key)
+		if c.onEvict != nil {
+			c.onEvict(old.key, old.val)
+		}
+	}
+	if size > c.capacity {
+		return
+	}
+	for c.used+size > c.capacity && c.tail != nil {
+		c.evictLocked(c.tail)
+	}
+	n := &node[K, V]{key: key, val: val, size: size}
+	c.entries[key] = n
+	c.used += size
+	c.pushFront(n)
+}
+
+// Remove deletes key from the cache, reporting whether it was present.
+// Removal does not count as an eviction.
+func (c *LRU[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.used -= n.size
+	c.unlink(n)
+	delete(c.entries, key)
+	return true
+}
+
+// Clear empties the cache without invoking eviction callbacks.
+func (c *LRU[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*node[K, V])
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the total size of cached values.
+func (c *LRU[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the configured byte capacity.
+func (c *LRU[K, V]) Capacity() int64 { return c.capacity }
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *LRU[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// ResetStats zeroes the counters (between experiment runs).
+func (c *LRU[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+func (c *LRU[K, V]) evictLocked(n *node[K, V]) {
+	c.used -= n.size
+	c.unlink(n)
+	delete(c.entries, n.key)
+	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(n.key, n.val)
+	}
+}
+
+func (c *LRU[K, V]) pushFront(n *node[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(n *node[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	c := NewLRU[string, int](100)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %v,%v", v, ok)
+	}
+	if _, ok := c.Get("zzz"); ok {
+		t.Error("unexpected hit")
+	}
+	if c.Len() != 2 || c.Bytes() != 20 {
+		t.Errorf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := NewLRU[string, int](30)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Put("c", 3, 10)
+	// Touch a so b becomes LRU.
+	c.Get("a")
+	c.Put("d", 4, 10)
+	if c.Contains("b") {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Errorf("%s should be cached", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := NewLRU[string, int](10)
+	c.Put("big", 1, 100)
+	if c.Contains("big") || c.Bytes() != 0 {
+		t.Error("oversize value must not be cached")
+	}
+	// And it must not have evicted existing entries.
+	c.Put("a", 1, 5)
+	c.Put("big", 2, 100)
+	if !c.Contains("a") {
+		t.Error("oversize Put must not evict existing entries")
+	}
+}
+
+func TestReplaceUpdatesSize(t *testing.T) {
+	c := NewLRU[string, int](100)
+	c.Put("a", 1, 10)
+	c.Put("a", 2, 50)
+	if c.Bytes() != 50 || c.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d", c.Bytes(), c.Len())
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("value = %d, want 2", v)
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := NewLRU[string, int](100)
+	c.Put("a", 1, 10)
+	if !c.Remove("a") || c.Remove("a") {
+		t.Error("Remove semantics wrong")
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Error("Remove must not count as eviction")
+	}
+	c.Put("b", 2, 10)
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1, 1)
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache must store nothing")
+	}
+}
+
+func TestOnEvict(t *testing.T) {
+	c := NewLRU[string, int](20)
+	var evicted []string
+	c.OnEvict(func(k string, _ int) { evicted = append(evicted, k) })
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Put("c", 3, 10) // evicts a
+	c.Put("b", 4, 10) // displaces old b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Errorf("evicted = %v", evicted)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := NewLRU[string, int](10)
+	c.Get("x")
+	c.ResetStats()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU[int, int](1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				k := r.Intn(256)
+				if r.Intn(2) == 0 {
+					c.Put(k, k, 16)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > c.Capacity() {
+		t.Errorf("capacity violated: %d > %d", c.Bytes(), c.Capacity())
+	}
+}
+
+// TestPropCapacityNeverExceeded drives a random operation sequence and
+// checks the byte bound and bookkeeping invariants after every step.
+func TestPropCapacityNeverExceeded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := int64(1 + r.Intn(200))
+		c := NewLRU[int, string](capacity)
+		live := make(map[int]int64)
+		c.OnEvict(func(k int, _ string) { delete(live, k) })
+		for step := 0; step < 300; step++ {
+			k := r.Intn(30)
+			switch r.Intn(3) {
+			case 0:
+				size := int64(1 + r.Intn(60))
+				c.Put(k, fmt.Sprint(k), size)
+				if size <= capacity {
+					live[k] = size
+				}
+			case 1:
+				c.Get(k)
+			case 2:
+				if c.Remove(k) {
+					delete(live, k)
+				}
+			}
+			if c.Bytes() > capacity {
+				t.Logf("capacity exceeded: %d > %d", c.Bytes(), capacity)
+				return false
+			}
+			var sum int64
+			for _, s := range live {
+				sum += s
+			}
+			if sum != c.Bytes() || len(live) != c.Len() {
+				t.Logf("bookkeeping drift: model %d bytes/%d entries, cache %d/%d",
+					sum, len(live), c.Bytes(), c.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLRUOrderMatchesModel(t *testing.T) {
+	// Uniform entry size 1 so the cache behaves like a classic count-bounded
+	// LRU, compared against a simple slice model.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		c := NewLRU[int, int](int64(n))
+		var order []int // order[0] = LRU ... last = MRU
+		touch := func(k int) {
+			for i, v := range order {
+				if v == k {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append(order, k)
+			if len(order) > n {
+				order = order[1:]
+			}
+		}
+		for step := 0; step < 500; step++ {
+			k := r.Intn(20)
+			if r.Intn(2) == 0 {
+				c.Put(k, k, 1)
+				touch(k)
+			} else {
+				_, hit := c.Get(k)
+				inModel := false
+				for _, v := range order {
+					if v == k {
+						inModel = true
+						break
+					}
+				}
+				if hit != inModel {
+					t.Logf("step %d: hit=%v model=%v for key %d", step, hit, inModel, k)
+					return false
+				}
+				if hit {
+					touch(k)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

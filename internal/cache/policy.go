@@ -1,0 +1,338 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is the Caching Service contract: a byte-bounded store with
+// replacement statistics. LRU is the paper's choice ("a reasonable policy
+// in many cases and commonly used"); FIFO and CLOCK exist to study the
+// paper's future-work question of caching strategies.
+type Cache[K comparable, V any] interface {
+	Get(key K) (V, bool)
+	Contains(key K) bool
+	Put(key K, val V, size int64)
+	Remove(key K) bool
+	Clear()
+	Len() int
+	Bytes() int64
+	Capacity() int64
+	Stats() Stats
+	ResetStats()
+}
+
+var _ Cache[int, int] = (*LRU[int, int])(nil)
+var _ Cache[int, int] = (*FIFO[int, int])(nil)
+var _ Cache[int, int] = (*Clock[int, int])(nil)
+
+// NewPolicy constructs a cache by policy name: "lru" (default when empty),
+// "fifo" or "clock".
+func NewPolicy[K comparable, V any](policy string, capacity int64) (Cache[K, V], error) {
+	switch policy {
+	case "", "lru":
+		return NewLRU[K, V](capacity), nil
+	case "fifo":
+		return NewFIFO[K, V](capacity), nil
+	case "clock":
+		return NewClock[K, V](capacity), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q (want lru, fifo or clock)", policy)
+	}
+}
+
+// FIFO evicts in insertion order, ignoring recency. Cheaper bookkeeping
+// than LRU but blind to reuse: a sub-table still being probed is evicted
+// as readily as a dead one.
+type FIFO[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[K]*node[K, V]
+	head     *node[K, V] // newest
+	tail     *node[K, V] // oldest
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewFIFO returns a FIFO cache bounded by capacity bytes.
+func NewFIFO[K comparable, V any](capacity int64) *FIFO[K, V] {
+	return &FIFO[K, V]{capacity: capacity, entries: make(map[K]*node[K, V])}
+}
+
+// Get implements Cache (no recency update — that is the point of FIFO).
+func (c *FIFO[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	return n.val, true
+}
+
+// Contains implements Cache.
+func (c *FIFO[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put implements Cache.
+func (c *FIFO[K, V]) Put(key K, val V, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.used -= old.size
+		c.unlink(old)
+		delete(c.entries, key)
+	}
+	if size > c.capacity {
+		return
+	}
+	for c.used+size > c.capacity && c.tail != nil {
+		t := c.tail
+		c.used -= t.size
+		c.unlink(t)
+		delete(c.entries, t.key)
+		c.evictions++
+	}
+	n := &node[K, V]{key: key, val: val, size: size}
+	c.entries[key] = n
+	c.used += size
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *FIFO[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Remove implements Cache.
+func (c *FIFO[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.used -= n.size
+	c.unlink(n)
+	delete(c.entries, key)
+	return true
+}
+
+// Clear implements Cache.
+func (c *FIFO[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*node[K, V])
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// Len implements Cache.
+func (c *FIFO[K, V]) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return len(c.entries) }
+
+// Bytes implements Cache.
+func (c *FIFO[K, V]) Bytes() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.used }
+
+// Capacity implements Cache.
+func (c *FIFO[K, V]) Capacity() int64 { return c.capacity }
+
+// Stats implements Cache.
+func (c *FIFO[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// ResetStats implements Cache.
+func (c *FIFO[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// Clock is the second-chance approximation of LRU: entries sit on a ring
+// with a reference bit; the hand sweeps, clearing bits, and evicts the
+// first unreferenced entry it finds.
+type Clock[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[K]*clockNode[K, V]
+	hand     *clockNode[K, V] // ring position
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type clockNode[K comparable, V any] struct {
+	key        K
+	val        V
+	size       int64
+	referenced bool
+	prev, next *clockNode[K, V] // circular
+}
+
+// NewClock returns a CLOCK cache bounded by capacity bytes.
+func NewClock[K comparable, V any](capacity int64) *Clock[K, V] {
+	return &Clock[K, V]{capacity: capacity, entries: make(map[K]*clockNode[K, V])}
+}
+
+// Get implements Cache, setting the reference bit.
+func (c *Clock[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	n.referenced = true
+	c.hits++
+	return n.val, true
+}
+
+// Contains implements Cache.
+func (c *Clock[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put implements Cache.
+func (c *Clock[K, V]) Put(key K, val V, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.used -= old.size
+		c.ringRemove(old)
+		delete(c.entries, key)
+	}
+	if size > c.capacity {
+		return
+	}
+	for c.used+size > c.capacity && c.hand != nil {
+		c.evictOne()
+	}
+	n := &clockNode[K, V]{key: key, val: val, size: size, referenced: true}
+	c.entries[key] = n
+	c.used += size
+	if c.hand == nil {
+		n.prev, n.next = n, n
+		c.hand = n
+	} else {
+		// Insert just behind the hand (the position last swept).
+		prev := c.hand.prev
+		prev.next = n
+		n.prev = prev
+		n.next = c.hand
+		c.hand.prev = n
+	}
+}
+
+// evictOne sweeps the ring from the hand, clearing reference bits, and
+// evicts the first unreferenced entry. Caller holds the lock.
+func (c *Clock[K, V]) evictOne() {
+	for {
+		n := c.hand
+		if n.referenced {
+			n.referenced = false
+			c.hand = n.next
+			continue
+		}
+		c.hand = n.next
+		c.used -= n.size
+		c.ringRemove(n)
+		delete(c.entries, n.key)
+		c.evictions++
+		return
+	}
+}
+
+func (c *Clock[K, V]) ringRemove(n *clockNode[K, V]) {
+	if n.next == n {
+		c.hand = nil
+		n.prev, n.next = nil, nil
+		return
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	if c.hand == n {
+		c.hand = n.next
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Remove implements Cache.
+func (c *Clock[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.used -= n.size
+	c.ringRemove(n)
+	delete(c.entries, key)
+	return true
+}
+
+// Clear implements Cache.
+func (c *Clock[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*clockNode[K, V])
+	c.hand = nil
+	c.used = 0
+}
+
+// Len implements Cache.
+func (c *Clock[K, V]) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return len(c.entries) }
+
+// Bytes implements Cache.
+func (c *Clock[K, V]) Bytes() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.used }
+
+// Capacity implements Cache.
+func (c *Clock[K, V]) Capacity() int64 { return c.capacity }
+
+// Stats implements Cache.
+func (c *Clock[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// ResetStats implements Cache.
+func (c *Clock[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

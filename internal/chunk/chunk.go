@@ -1,0 +1,109 @@
+// Package chunk defines data chunks — the contiguous flat-file segments
+// that scientific datasets are stored in — and the extractor functions that
+// interpret application-specific chunk layouts as sub-tables.
+//
+// Per the paper, a chunk is "the smallest unit of retrieval from the file
+// system", and its metadata records which table it belongs to, its location
+// (object + offset) and size, its attributes, the extractors that can parse
+// it, and its bounding box. Extractors realize the paper's layered
+// alternative to database ingestion: they map raw file segments to the
+// standard sub-table structure.
+package chunk
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sciview/internal/bbox"
+	"sciview/internal/tuple"
+)
+
+// Desc is the metadata record for one chunk, as stored by the MetaData
+// Service.
+type Desc struct {
+	// Table and Chunk form the sub-table id (i, j).
+	Table int32
+	Chunk int32
+	// Object, Offset and Size locate the chunk inside the storage node's
+	// object store (a segment of a data file).
+	Object string
+	Offset int64
+	Size   int64
+	// Node is the storage node holding the chunk.
+	Node int
+	// Format names the extractor able to parse this chunk.
+	Format string
+	// Attrs is the chunk's schema (a chunk holds a subset of the dataset's
+	// attributes for a subset of its records).
+	Attrs []tuple.Attr
+	// Rows is the number of records in the chunk.
+	Rows int
+	// Bounds is the chunk's bounding box over Attrs, in schema order.
+	Bounds bbox.Box
+}
+
+// ID returns the sub-table identifier of the chunk.
+func (d *Desc) ID() tuple.ID { return tuple.ID{Table: d.Table, Chunk: d.Chunk} }
+
+// Schema returns the chunk's schema.
+func (d *Desc) Schema() tuple.Schema { return tuple.Schema{Attrs: d.Attrs} }
+
+// Extractor parses one application-specific chunk layout into a sub-table,
+// and (for dataset generation and tests) serializes a sub-table back into
+// that layout.
+type Extractor interface {
+	// Name is the format identifier referenced by Desc.Format.
+	Name() string
+	// Extract parses raw chunk bytes using the descriptor's schema.
+	Extract(d *Desc, data []byte) (*tuple.SubTable, error)
+	// Encode lays out a sub-table in this chunk format.
+	Encode(st *tuple.SubTable) ([]byte, error)
+}
+
+// registry maps format names to extractors. The built-in formats register
+// themselves in init; applications may add their own.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Extractor)
+)
+
+// Register adds an extractor to the registry, replacing any previous
+// extractor with the same name.
+func Register(e Extractor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[e.Name()] = e
+}
+
+// Lookup returns the extractor for a format name.
+func Lookup(name string) (Extractor, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("chunk: no extractor registered for format %q", name)
+	}
+	return e, nil
+}
+
+// Formats returns the names of all registered formats, sorted.
+func Formats() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Extract locates the extractor named by d.Format and parses data with it.
+func Extract(d *Desc, data []byte) (*tuple.SubTable, error) {
+	e, err := Lookup(d.Format)
+	if err != nil {
+		return nil, err
+	}
+	return e.Extract(d, data)
+}

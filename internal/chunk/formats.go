@@ -1,0 +1,177 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sciview/internal/tuple"
+)
+
+func init() {
+	Register(RowMajor{})
+	Register(ColMajor{})
+	Register(CSV{})
+}
+
+// RowMajor is the record-oriented binary layout: records stored
+// consecutively, each record its attributes in schema order as little-endian
+// float32. This matches simulation outputs that write one grid point at a
+// time.
+type RowMajor struct{}
+
+// Name implements Extractor.
+func (RowMajor) Name() string { return "rowmajor" }
+
+// Extract implements Extractor.
+func (RowMajor) Extract(d *Desc, data []byte) (*tuple.SubTable, error) {
+	schema := d.Schema()
+	na := schema.NumAttrs()
+	if na == 0 {
+		return nil, fmt.Errorf("chunk: rowmajor chunk %v has no attributes", d.ID())
+	}
+	rec := schema.RecordSize()
+	if len(data)%rec != 0 {
+		return nil, fmt.Errorf("chunk: rowmajor chunk %v: %d bytes not a multiple of record size %d", d.ID(), len(data), rec)
+	}
+	rows := len(data) / rec
+	cols := make([][]float32, na)
+	for c := range cols {
+		cols[c] = make([]float32, rows)
+	}
+	off := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < na; c++ {
+			cols[c][r] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+	}
+	return tuple.FromColumns(d.ID(), schema, cols)
+}
+
+// Encode implements Extractor.
+func (RowMajor) Encode(st *tuple.SubTable) ([]byte, error) {
+	na := st.Schema.NumAttrs()
+	out := make([]byte, 0, st.Bytes())
+	var buf [4]byte
+	for r := 0; r < st.NumRows(); r++ {
+		for c := 0; c < na; c++ {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(st.Value(r, c)))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out, nil
+}
+
+// ColMajor is the planar binary layout: each attribute's values stored
+// contiguously (column after column), as written by simulations that dump
+// one field array at a time.
+type ColMajor struct{}
+
+// Name implements Extractor.
+func (ColMajor) Name() string { return "colmajor" }
+
+// Extract implements Extractor.
+func (ColMajor) Extract(d *Desc, data []byte) (*tuple.SubTable, error) {
+	schema := d.Schema()
+	na := schema.NumAttrs()
+	if na == 0 {
+		return nil, fmt.Errorf("chunk: colmajor chunk %v has no attributes", d.ID())
+	}
+	rec := schema.RecordSize()
+	if len(data)%rec != 0 {
+		return nil, fmt.Errorf("chunk: colmajor chunk %v: %d bytes not a multiple of record size %d", d.ID(), len(data), rec)
+	}
+	rows := len(data) / rec
+	cols := make([][]float32, na)
+	off := 0
+	for c := 0; c < na; c++ {
+		col := make([]float32, rows)
+		for r := 0; r < rows; r++ {
+			col[r] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+		cols[c] = col
+	}
+	return tuple.FromColumns(d.ID(), schema, cols)
+}
+
+// Encode implements Extractor.
+func (ColMajor) Encode(st *tuple.SubTable) ([]byte, error) {
+	out := make([]byte, 0, st.Bytes())
+	var buf [4]byte
+	for c := 0; c < st.Schema.NumAttrs(); c++ {
+		for _, v := range st.Col(c) {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out, nil
+}
+
+// CSV is a text layout: one record per line, comma-separated decimal
+// values in schema order. It represents sensor-style exports and exercises
+// an extractor whose parsing cost is far from free.
+type CSV struct{}
+
+// Name implements Extractor.
+func (CSV) Name() string { return "csv" }
+
+// Extract implements Extractor.
+func (CSV) Extract(d *Desc, data []byte) (*tuple.SubTable, error) {
+	schema := d.Schema()
+	na := schema.NumAttrs()
+	st := tuple.NewSubTable(d.ID(), schema, d.Rows)
+	vals := make([]float32, na)
+	lineNo := 0
+	for len(data) > 0 {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		var line string
+		if nl < 0 {
+			line, data = string(data), nil
+		} else {
+			line, data = string(data[:nl]), data[nl+1:]
+		}
+		lineNo++
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != na {
+			return nil, fmt.Errorf("chunk: csv chunk %v line %d: %d fields, want %d", d.ID(), lineNo, len(fields), na)
+		}
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+			if err != nil {
+				return nil, fmt.Errorf("chunk: csv chunk %v line %d field %d: %w", d.ID(), lineNo, i, err)
+			}
+			vals[i] = float32(v)
+		}
+		st.AppendRow(vals...)
+	}
+	return st, nil
+}
+
+// Encode implements Extractor.
+func (CSV) Encode(st *tuple.SubTable) ([]byte, error) {
+	var sb strings.Builder
+	na := st.Schema.NumAttrs()
+	for r := 0; r < st.NumRows(); r++ {
+		for c := 0; c < na; c++ {
+			if c > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatFloat(float64(st.Value(r, c)), 'g', -1, 32))
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}

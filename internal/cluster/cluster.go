@@ -1,0 +1,359 @@
+// Package cluster assembles the emulated hardware platform of the paper's
+// experiments: a coupled configuration of storage nodes (disks + BDS
+// instances) and compute nodes (scratch disks + sub-table caches),
+// connected by per-node NICs with modeled bandwidths.
+//
+// Two storage configurations are supported, matching the paper:
+//
+//   - Local disks (default): each storage node has its own disk; each
+//     compute node has a local scratch disk for Grace Hash buckets.
+//   - Shared filesystem (Figure 9): a single NFS-like server performs all
+//     I/O. Every node's disk handle shares one pair of read/write
+//     throttles, so everybody's I/O — including bucket spills — contends
+//     on the same device, and compute nodes have no local disks.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sciview/internal/bds"
+	"sciview/internal/cache"
+	"sciview/internal/metadata"
+	"sciview/internal/simio"
+	"sciview/internal/transport"
+	"sciview/internal/tuple"
+)
+
+// Config describes the emulated hardware.
+type Config struct {
+	// StorageNodes and ComputeNodes set n_s and n_j.
+	StorageNodes int
+	ComputeNodes int
+	// DiskReadBw/DiskWriteBw are per-disk bandwidths in bytes/second
+	// (0 = unlimited): readIO_bw and writeIO_bw in the cost models.
+	DiskReadBw  float64
+	DiskWriteBw float64
+	// NetBw is the per-NIC bandwidth in bytes/second (0 = unlimited).
+	// The aggregate storage→compute bandwidth Net_bw(n_s, n_j) is
+	// min(n_s, n_j) · NetBw.
+	NetBw float64
+	// SharedFS selects the single-NFS-server configuration.
+	SharedFS bool
+	// NFSContention is the shared server's thrash penalty: each request's
+	// service time is multiplied by 1 + NFSContention·(concurrent clients − 1).
+	// Only meaningful with SharedFS; 0 models an ideal work-conserving
+	// server.
+	NFSContention float64
+	// CacheBytes is each compute node's sub-table cache capacity.
+	CacheBytes int64
+	// CachePolicy selects the Caching Service's replacement policy:
+	// "lru" (default), "fifo" or "clock".
+	CachePolicy string
+	// CPUSecPerOp models the compute nodes' hash-operation cost: every
+	// hash-table insertion or lookup a QES performs is charged this many
+	// seconds on the node's CPU device (0 = free, i.e. only the real host
+	// cost is paid). This is how the emulated cluster reproduces the
+	// CPU/IO balance of the paper's PIII-era nodes — and it makes joiner
+	// CPU a modeled resource that parallelizes across nodes regardless of
+	// how many host cores the emulation itself has.
+	CPUSecPerOp float64
+	// UseTCP serves every BDS instance over real TCP loopback sockets and
+	// routes compute-node sub-table fetches through them (wire encoding
+	// and all), instead of in-process calls. Modeled bandwidths still
+	// apply on top. Close the cluster when done.
+	UseTCP bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StorageNodes < 1 || c.ComputeNodes < 1 {
+		return fmt.Errorf("cluster: need at least 1 storage and 1 compute node (got %d, %d)",
+			c.StorageNodes, c.ComputeNodes)
+	}
+	return nil
+}
+
+// NetAggregateBw returns Net_bw(n_s, n_j): the aggregate storage→compute
+// bandwidth, limited by whichever side has fewer NICs.
+func (c Config) NetAggregateBw() float64 {
+	if c.NetBw <= 0 {
+		return 0 // unlimited
+	}
+	n := c.StorageNodes
+	if c.ComputeNodes < n {
+		n = c.ComputeNodes
+	}
+	return float64(n) * c.NetBw
+}
+
+// StorageNode is one node of the storage cluster.
+type StorageNode struct {
+	ID   int
+	Disk *simio.Disk
+	NIC  *simio.NIC
+	BDS  *bds.Service
+}
+
+// ComputeNode is one node of the compute cluster.
+type ComputeNode struct {
+	ID int
+	// Scratch is the node's spill disk for out-of-core operations. In the
+	// shared-filesystem configuration it is a handle on the NFS server.
+	Scratch *simio.Disk
+	NIC     *simio.NIC
+	// Cache is the node's Caching Service instance for sub-tables.
+	Cache cache.Cache[tuple.ID, *tuple.SubTable]
+	// CPU is the node's modeled processor: QES instances charge hash
+	// operations to it via SpendCPU.
+	CPU *simio.Throttle
+}
+
+// SpendCPU charges ops hash operations to the node's modeled CPU,
+// blocking for the modeled duration. With CPUSecPerOp = 0 it is free.
+func (cn *ComputeNode) SpendCPU(ops int64) {
+	simio.Wait(cn.CPU.Reserve(ops))
+}
+
+// Cluster is the assembled platform.
+type Cluster struct {
+	Config  Config
+	Catalog *metadata.Catalog
+	Storage []*StorageNode
+	Compute []*ComputeNode
+
+	// runMu serializes query executions: engines reset per-run state
+	// (caches, counters, throttles), so two queries cannot share the
+	// cluster concurrently.
+	runMu sync.Mutex
+
+	// nfsRead/nfsWrite are the shared-server throttles (SharedFS only).
+	nfsRead  *simio.Throttle
+	nfsWrite *simio.Throttle
+
+	// TCP wiring (UseTCP only): per-storage-node servers and per
+	// (compute, storage) client connections. Connections serialize their
+	// request/response pairs internally.
+	servers []io.Closer
+	clients [][]*bds.Client // [computeID][storageNode]
+}
+
+// New assembles a cluster over the given catalog and per-storage-node
+// object stores (stores[i] holds node i's chunks). len(stores) must equal
+// cfg.StorageNodes.
+func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stores) != cfg.StorageNodes {
+		return nil, fmt.Errorf("cluster: %d stores for %d storage nodes", len(stores), cfg.StorageNodes)
+	}
+	cl := &Cluster{Config: cfg, Catalog: catalog}
+	if cfg.SharedFS {
+		cl.nfsRead = simio.NewThrottle(cfg.DiskReadBw)
+		cl.nfsWrite = simio.NewThrottle(cfg.DiskWriteBw)
+		if cfg.NFSContention > 0 {
+			const window = 200 * time.Millisecond
+			cl.nfsRead.SetContention(cfg.NFSContention, window)
+			cl.nfsWrite.SetContention(cfg.NFSContention, window)
+		}
+	}
+	for i := 0; i < cfg.StorageNodes; i++ {
+		var disk *simio.Disk
+		if cfg.SharedFS {
+			disk = simio.NewSharedDisk(stores[i], cl.nfsRead, cl.nfsWrite)
+		} else {
+			disk = simio.NewDisk(stores[i], cfg.DiskReadBw, cfg.DiskWriteBw)
+		}
+		disk.Owner = i
+		sn := &StorageNode{
+			ID:   i,
+			Disk: disk,
+			NIC:  simio.NewNIC(cfg.NetBw, nil),
+			BDS:  bds.New(i, catalog, disk),
+		}
+		cl.Storage = append(cl.Storage, sn)
+	}
+	for j := 0; j < cfg.ComputeNodes; j++ {
+		var scratch *simio.Disk
+		if cfg.SharedFS {
+			scratch = simio.NewSharedDisk(simio.NewMemStore(), cl.nfsRead, cl.nfsWrite)
+		} else {
+			scratch = simio.NewDisk(simio.NewMemStore(), cfg.DiskReadBw, cfg.DiskWriteBw)
+		}
+		scratch.Owner = cfg.StorageNodes + j
+		var cpuRate float64
+		if cfg.CPUSecPerOp > 0 {
+			cpuRate = 1 / cfg.CPUSecPerOp // "ops per second"
+		}
+		nodeCache, err := cache.NewPolicy[tuple.ID, *tuple.SubTable](cfg.CachePolicy, cfg.CacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		cn := &ComputeNode{
+			ID:      j,
+			Scratch: scratch,
+			NIC:     simio.NewNIC(cfg.NetBw, nil),
+			Cache:   nodeCache,
+			CPU:     simio.NewThrottle(cpuRate),
+		}
+		cl.Compute = append(cl.Compute, cn)
+	}
+	if cfg.UseTCP {
+		if err := cl.wireTCP(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// wireTCP serves every BDS over TCP loopback and connects each compute
+// node to each storage node.
+func (cl *Cluster) wireTCP() error {
+	tr := transport.NewTCP()
+	for _, sn := range cl.Storage {
+		closer, err := sn.BDS.Serve(tr)
+		if err != nil {
+			return err
+		}
+		cl.servers = append(cl.servers, closer)
+	}
+	cl.clients = make([][]*bds.Client, len(cl.Compute))
+	for j := range cl.Compute {
+		cl.clients[j] = make([]*bds.Client, len(cl.Storage))
+		for s := range cl.Storage {
+			client, err := bds.DialNode(tr, s)
+			if err != nil {
+				return err
+			}
+			cl.clients[j][s] = client
+		}
+	}
+	return nil
+}
+
+// Close releases TCP servers and connections (no-op for in-process
+// clusters).
+func (cl *Cluster) Close() error {
+	var first error
+	for _, row := range cl.clients {
+		for _, c := range row {
+			if c != nil {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	cl.clients = nil
+	for _, s := range cl.servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	cl.servers = nil
+	return first
+}
+
+// Fetch retrieves sub-table id for compute node computeID: the owning
+// storage node's BDS extracts it (paying disk read bandwidth) and the
+// result is shipped over both NICs (paying network bandwidth). Fetch does
+// not consult the compute node's cache — cache policy belongs to the QES.
+func (cl *Cluster) Fetch(computeID int, id tuple.ID, filter *metadata.Range) (*tuple.SubTable, error) {
+	return cl.FetchProjected(computeID, id, filter, nil)
+}
+
+// FetchProjected is Fetch with projection pushdown: only the named
+// attributes travel from the BDS (non-nil project), shrinking the modeled
+// transfer.
+func (cl *Cluster) FetchProjected(computeID int, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+	desc, err := cl.Catalog.Chunk(id.Table, id.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	if desc.Node < 0 || desc.Node >= len(cl.Storage) {
+		return nil, fmt.Errorf("cluster: chunk %v on unknown node %d", id, desc.Node)
+	}
+	if computeID < 0 || computeID >= len(cl.Compute) {
+		return nil, fmt.Errorf("cluster: unknown compute node %d", computeID)
+	}
+	sn := cl.Storage[desc.Node]
+	var st *tuple.SubTable
+	if cl.clients != nil {
+		st, err = cl.clients[computeID][desc.Node].SubTableProjected(id, filter, project)
+	} else {
+		st, err = sn.BDS.SubTableProjected(id, filter, project)
+	}
+	if err != nil {
+		return nil, err
+	}
+	simio.Transfer(sn.NIC, cl.Compute[computeID].NIC, int64(st.Bytes()))
+	return st, nil
+}
+
+// Ship models sending size bytes from storage node s to compute node j
+// (the record streams of Grace Hash partitioning).
+func (cl *Cluster) Ship(s, j int, size int64) {
+	simio.Transfer(cl.Storage[s].NIC, cl.Compute[j].NIC, size)
+}
+
+// AcquireRun takes the cluster for one query execution; ReleaseRun frees
+// it. Engines call these around Run so concurrent queries on one cluster
+// serialize instead of corrupting each other's caches and accounting.
+func (cl *Cluster) AcquireRun() { cl.runMu.Lock() }
+
+// ReleaseRun releases the run lock taken by AcquireRun.
+func (cl *Cluster) ReleaseRun() { cl.runMu.Unlock() }
+
+// Reset clears caches, counters and throttle backlogs between experiment
+// runs, without touching stored data.
+func (cl *Cluster) Reset() {
+	for _, sn := range cl.Storage {
+		sn.Disk.Counters.Reset()
+		sn.Disk.ReadThrottle().Reset()
+		sn.Disk.WriteThrottle().Reset()
+		sn.NIC.Counters.Reset()
+		sn.NIC.Throttle().Reset()
+	}
+	for _, cn := range cl.Compute {
+		cn.Scratch.Counters.Reset()
+		cn.Scratch.ReadThrottle().Reset()
+		cn.Scratch.WriteThrottle().Reset()
+		cn.NIC.Counters.Reset()
+		cn.NIC.Throttle().Reset()
+		cn.Cache.Clear()
+		cn.Cache.ResetStats()
+		cn.CPU.Reset()
+	}
+	if cl.nfsRead != nil {
+		cl.nfsRead.Reset()
+	}
+	if cl.nfsWrite != nil {
+		cl.nfsWrite.Reset()
+	}
+}
+
+// Traffic aggregates byte counters across the cluster.
+type Traffic struct {
+	StorageBytesRead    int64
+	ScratchBytesWritten int64
+	ScratchBytesRead    int64
+	NetBytesToCompute   int64
+}
+
+// Traffic returns the aggregated counters since the last Reset.
+func (cl *Cluster) Traffic() Traffic {
+	var t Traffic
+	for _, sn := range cl.Storage {
+		t.StorageBytesRead += sn.Disk.Counters.BytesRead.Load()
+	}
+	for _, cn := range cl.Compute {
+		t.ScratchBytesWritten += cn.Scratch.Counters.BytesWritten.Load()
+		t.ScratchBytesRead += cn.Scratch.Counters.BytesRead.Load()
+		t.NetBytesToCompute += cn.NIC.Counters.BytesRecv.Load()
+	}
+	return t
+}

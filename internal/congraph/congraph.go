@@ -1,0 +1,223 @@
+// Package congraph builds the sub-table connectivity graph — the paper's
+// page-level join index. Nodes are basic sub-tables of the two joined
+// tables; an edge connects a left and a right sub-table whose bounds on the
+// join attributes overlap, i.e. a candidate pair that must be checked for
+// matches. Connected components are the unit of IJ scheduling.
+package congraph
+
+import (
+	"fmt"
+	"sort"
+
+	"sciview/internal/bbox"
+	"sciview/internal/chunk"
+	"sciview/internal/rtree"
+	"sciview/internal/tuple"
+)
+
+// Edge is a candidate sub-table pair (left chunk index, right chunk index
+// into the Graph's Left/Right slices).
+type Edge struct {
+	Left  int
+	Right int
+}
+
+// Graph is a bipartite sub-table connectivity graph.
+type Graph struct {
+	Left  []*chunk.Desc
+	Right []*chunk.Desc
+	Edges []Edge
+}
+
+// Build constructs the connectivity graph between the given left and right
+// chunk sets for a join on joinAttrs. Both chunk sets must expose every
+// join attribute; per the paper, a missing bound would be [-Inf,+Inf] and
+// join everything, which is almost certainly a mis-specified join, so it is
+// rejected instead.
+//
+// Candidate pairs are found with an R-tree over the right set, so the cost
+// is O((L+R) log R + n_e) rather than O(L·R).
+func Build(left, right []*chunk.Desc, joinAttrs []string) (*Graph, error) {
+	if len(joinAttrs) == 0 {
+		return nil, fmt.Errorf("congraph: no join attributes")
+	}
+	leftIdx, err := attrIndexes(left, joinAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("congraph: left table: %w", err)
+	}
+	rightIdx, err := attrIndexes(right, joinAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("congraph: right table: %w", err)
+	}
+
+	g := &Graph{Left: left, Right: right}
+	tree := rtree.New(len(joinAttrs), 0)
+	for i, d := range right {
+		tree.Insert(joinBox(d, rightIdx[i]), int64(i))
+	}
+	var hits []int64
+	for li, d := range left {
+		hits = tree.Search(joinBox(d, leftIdx[li]), hits[:0])
+		// Sort for deterministic edge order.
+		sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+		for _, ri := range hits {
+			g.Edges = append(g.Edges, Edge{Left: li, Right: int(ri)})
+		}
+	}
+	return g, nil
+}
+
+// attrIndexes resolves the join attributes in every chunk's schema. Chunks
+// of one table may in principle have differing schemas; the common case is
+// one schema, so indexes are computed per distinct schema shape cheaply by
+// recomputing only when the schema differs from the previous chunk's.
+func attrIndexes(descs []*chunk.Desc, joinAttrs []string) ([][]int, error) {
+	out := make([][]int, len(descs))
+	for i, d := range descs {
+		if i > 0 && sameAttrs(descs[i-1].Attrs, d.Attrs) {
+			out[i] = out[i-1]
+			continue
+		}
+		schema := d.Schema()
+		idxs, err := schema.Indexes(joinAttrs)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %v: %w", d.ID(), err)
+		}
+		out[i] = idxs
+	}
+	return out, nil
+}
+
+func sameAttrs(a, b []tuple.Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinBox projects a chunk's bounds onto the join attributes.
+func joinBox(d *chunk.Desc, idx []int) bbox.Box {
+	lo := make([]float64, len(idx))
+	hi := make([]float64, len(idx))
+	for k, i := range idx {
+		lo[k] = d.Bounds.Lo[i]
+		hi[k] = d.Bounds.Hi[i]
+	}
+	return bbox.New(lo, hi)
+}
+
+// NumEdges returns n_e.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// RightDegrees returns the degree of each right node. The IJ lookup cost is
+// proportional to sum(degree(right) × rows(right)).
+func (g *Graph) RightDegrees() []int {
+	deg := make([]int, len(g.Right))
+	for _, e := range g.Edges {
+		deg[e.Right]++
+	}
+	return deg
+}
+
+// AvgRightDegree returns n_e / m_S, the average degree of a right
+// sub-table node — the multiplier on IJ's probe cost in the cost model.
+func (g *Graph) AvgRightDegree() float64 {
+	if len(g.Right) == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(len(g.Right))
+}
+
+// Component is a connected sub-graph: the unit the IJ scheduler assigns to
+// a compute node. Lefts and Rights index into the Graph's chunk slices;
+// Edges are the component's candidate pairs.
+type Component struct {
+	Lefts  []int
+	Rights []int
+	Edges  []Edge
+}
+
+// Components returns the connected components of the graph, each with its
+// edges, ordered deterministically by smallest left index. Isolated nodes
+// (sub-tables with no candidate partner) contribute no component: they
+// produce no join output and are never fetched.
+func (g *Graph) Components() []Component {
+	uf := newUnionFind(len(g.Left) + len(g.Right))
+	r0 := len(g.Left)
+	for _, e := range g.Edges {
+		uf.union(e.Left, r0+e.Right)
+	}
+	byRoot := make(map[int]*Component)
+	var order []int
+	for _, e := range g.Edges {
+		root := uf.find(e.Left)
+		comp, ok := byRoot[root]
+		if !ok {
+			comp = &Component{}
+			byRoot[root] = comp
+			order = append(order, root)
+		}
+		comp.Edges = append(comp.Edges, e)
+	}
+	seenL := make([]bool, len(g.Left))
+	seenR := make([]bool, len(g.Right))
+	out := make([]Component, 0, len(order))
+	for _, root := range order {
+		comp := byRoot[root]
+		for _, e := range comp.Edges {
+			if !seenL[e.Left] {
+				seenL[e.Left] = true
+				comp.Lefts = append(comp.Lefts, e.Left)
+			}
+			if !seenR[e.Right] {
+				seenR[e.Right] = true
+				comp.Rights = append(comp.Rights, e.Right)
+			}
+		}
+		sort.Ints(comp.Lefts)
+		sort.Ints(comp.Rights)
+		out = append(out, *comp)
+	}
+	return out
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

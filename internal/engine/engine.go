@@ -1,0 +1,138 @@
+// Package engine defines the common contract of the Query Execution
+// Systems (QES): the request describing a join-view scan and the result
+// with its timing, tuple counts and accounting. The two implementations —
+// the page-level Indexed Join (internal/ij) and Grace Hash
+// (internal/gh) — both execute queries of the form
+//
+//	SELECT * FROM V WHERE <ranges>,   V = Left ⊕<attrs> Right
+//
+// against an emulated cluster.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"sciview/internal/cache"
+	"sciview/internal/cluster"
+	"sciview/internal/metadata"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Request describes one join-view execution.
+type Request struct {
+	// LeftTable and RightTable name the joined virtual tables; LeftTable
+	// is the build (inner) side.
+	LeftTable  string
+	RightTable string
+	// JoinAttrs are the equi-join attributes (e.g. x, y, z).
+	JoinAttrs []string
+	// Filter is an optional range selection applied to the view.
+	Filter metadata.Range
+	// Project lists the view output attributes the caller needs (nil =
+	// all). Engines push the projection down to the BDS — join attributes
+	// are always retained — so unneeded columns never travel.
+	Project []string
+	// WorkFactor repeats hash build/probe operations to emulate a slower
+	// CPU (>=1; the paper's Figure 8 technique).
+	WorkFactor int
+	// Collect retains the produced result sub-tables (for correctness
+	// checks). Experiments leave it false and only count tuples, since the
+	// paper's queries enumerate the view without storing it.
+	Collect bool
+	// Trace, when non-nil, records per-operation execution events
+	// (fetches, builds, probes, spills) for offline analysis.
+	Trace *trace.Recorder
+}
+
+// Validate checks the request.
+func (r Request) Validate() error {
+	if r.LeftTable == "" || r.RightTable == "" {
+		return fmt.Errorf("engine: both table names are required")
+	}
+	if len(r.JoinAttrs) == 0 {
+		return fmt.Errorf("engine: no join attributes")
+	}
+	if err := r.Filter.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// JoinCounts is a plain snapshot of hashjoin.Stats.
+type JoinCounts struct {
+	TuplesBuilt  int64
+	TuplesProbed int64
+	Matches      int64
+}
+
+// Result reports one execution.
+type Result struct {
+	Engine string
+	// Tuples is the number of result tuples produced.
+	Tuples int64
+	// Elapsed is the wall-clock execution time (the quantity the paper's
+	// figures plot).
+	Elapsed time.Duration
+	// Join aggregates hash build/probe counts across all QES instances.
+	Join JoinCounts
+	// Cache aggregates sub-table cache statistics across compute nodes
+	// (IJ only; zero for GH).
+	Cache cache.Stats
+	// Traffic is the cluster byte accounting for the run.
+	Traffic cluster.Traffic
+	// Collected holds per-joiner result sub-tables when Request.Collect.
+	Collected []*tuple.SubTable
+	// Phases records coarse phase durations (engine-specific keys, e.g.
+	// "partition" and "bucketjoin" for GH).
+	Phases map[string]time.Duration
+}
+
+// EffectiveProject returns the pushdown list the engines apply to each
+// base table: the requested attributes plus the join keys (which the
+// engines need for hashing). Nil when the request selects everything.
+func (r Request) EffectiveProject() []string {
+	if r.Project == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(r.Project)+len(r.JoinAttrs))
+	out := make([]string, 0, len(r.Project)+len(r.JoinAttrs))
+	for _, lists := range [][]string{r.Project, r.JoinAttrs} {
+		for _, a := range lists {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// ProjectedSchema returns schema restricted to the projected attributes
+// (in schema order); project == nil keeps everything.
+func ProjectedSchema(schema tuple.Schema, project []string) tuple.Schema {
+	if project == nil {
+		return schema
+	}
+	want := make(map[string]bool, len(project))
+	for _, p := range project {
+		want[p] = true
+	}
+	var attrs []tuple.Attr
+	for _, a := range schema.Attrs {
+		if want[a.Name] {
+			attrs = append(attrs, a)
+		}
+	}
+	return tuple.Schema{Attrs: attrs}
+}
+
+// Engine executes join-view requests on a cluster.
+type Engine interface {
+	// Name returns the engine identifier ("ij" or "gh").
+	Name() string
+	// Run executes the request. Implementations reset cluster accounting
+	// at start so Result.Traffic covers exactly this run.
+	Run(cl *cluster.Cluster, req Request) (*Result, error)
+}

@@ -1,0 +1,48 @@
+package gh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sciview/internal/tuple"
+)
+
+// Spill buckets are raw row-major float32 records: the schema is known to
+// both phases, so no framing is needed, and the on-disk byte count equals
+// rows × record size — the quantity the cost model charges for.
+
+func encodeRows(st *tuple.SubTable) []byte {
+	na := st.Schema.NumAttrs()
+	out := make([]byte, 0, st.Bytes())
+	var buf [4]byte
+	for r := 0; r < st.NumRows(); r++ {
+		for c := 0; c < na; c++ {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(st.Value(r, c)))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out
+}
+
+func decodeRows(schema tuple.Schema, data []byte, bucket int32) (*tuple.SubTable, error) {
+	rec := schema.RecordSize()
+	if rec == 0 || len(data)%rec != 0 {
+		return nil, fmt.Errorf("gh: bucket %d holds %d bytes, not a multiple of record size %d",
+			bucket, len(data), rec)
+	}
+	rows := len(data) / rec
+	na := schema.NumAttrs()
+	cols := make([][]float32, na)
+	for c := range cols {
+		cols[c] = make([]float32, rows)
+	}
+	off := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < na; c++ {
+			cols[c][r] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+	}
+	return tuple.FromColumns(tuple.ID{Table: -1, Chunk: bucket}, schema, cols)
+}

@@ -1,0 +1,591 @@
+// Package gh implements the Grace Hash join QES, modified as in the paper
+// so that every joiner node performs its bucket joins independently (no
+// network traffic during the bucket-joining phase).
+//
+// Phase 1 (partition): a QES instance on each storage node contacts the
+// local BDS instance for the matching sub-tables of the left table; a hash
+// function h1 over the join key routes each record to a compute-node QES
+// instance, which applies a second, independent hash h2 to place the record
+// in a spill bucket on its local scratch disk. The same procedure is then
+// repeated for the right table. Phase 2 (bucket join): each compute node
+// reads its bucket pairs back and joins them in memory.
+//
+// GH is insensitive to how the dataset is partitioned (the connectivity
+// graph never enters), but pays the extra write+read I/O of bucket spills —
+// exactly the trade the cost models capture.
+package gh
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sciview/internal/cluster"
+	"sciview/internal/engine"
+	"sciview/internal/hashjoin"
+	"sciview/internal/metadata"
+	"sciview/internal/simio"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Engine is the Grace Hash QES.
+type Engine struct {
+	// Buckets is the number of spill buckets per joiner per table
+	// (h2's range). 0 selects a default that keeps expected bucket size
+	// around DefaultBucketBytes.
+	Buckets int
+	// BatchRows is the number of records accumulated per storage→joiner
+	// shipment (0 = default).
+	BatchRows int
+	// FlushRows is the bucket buffer size before spilling to scratch disk
+	// (0 = default).
+	FlushRows int
+	// MemoryBytes caps the in-memory size of one bucket side during the
+	// join phase ("the number of buckets is chosen so that each bucket
+	// fits in memory"). When key skew overflows a bucket past the cap, it
+	// is recursively repartitioned with a salted hash — spilled and
+	// re-read through the scratch disk — before joining. 0 disables the
+	// check (buckets assumed to fit).
+	MemoryBytes int64
+}
+
+// Defaults for the tunables.
+const (
+	DefaultBucketBytes = 1 << 20
+	defaultBatchRows   = 4096
+	defaultFlushRows   = 4096
+)
+
+// New returns a Grace Hash engine with default tuning.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "gh" }
+
+var _ engine.Engine = (*Engine)(nil)
+
+// h1 routes a join key to a joiner node; h2 places it in a bucket. The two
+// use unrelated finalizer constants so bucket occupancy is uniform within a
+// joiner (a correlated h2 would put each joiner's records in few buckets).
+func h1(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return key
+}
+
+func h2(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xBF58476D1CE4E5B9
+	key ^= key >> 27
+	key *= 0x94D049BB133111EB
+	key ^= key >> 31
+	return key
+}
+
+// h3 is the salted hash for recursive repartitioning of overflowing
+// buckets; the salt decorrelates it from h2 at every recursion depth.
+func h3(key, salt uint64) uint64 {
+	return h2(key ^ (salt+1)*0x9E3779B97F4A7C15)
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	wf := req.WorkFactor
+	if wf < 1 {
+		wf = 1
+	}
+	batchRows := e.BatchRows
+	if batchRows <= 0 {
+		batchRows = defaultBatchRows
+	}
+	flushRows := e.FlushRows
+	if flushRows <= 0 {
+		flushRows = defaultFlushRows
+	}
+	leftDef, err := cl.Catalog.Table(req.LeftTable)
+	if err != nil {
+		return nil, err
+	}
+	rightDef, err := cl.Catalog.Table(req.RightTable)
+	if err != nil {
+		return nil, err
+	}
+	leftFilter := filterFor(leftDef, req.Filter)
+	rightFilter := filterFor(rightDef, req.Filter)
+	project := req.EffectiveProject()
+	leftSchema := engine.ProjectedSchema(leftDef.Schema, project)
+	rightSchema := engine.ProjectedSchema(rightDef.Schema, project)
+
+	cl.AcquireRun()
+	defer cl.ReleaseRun()
+	cl.Reset()
+	start := time.Now()
+
+	buckets := e.Buckets
+	if buckets <= 0 {
+		buckets = e.defaultBuckets(cl, leftDef, rightDef, req)
+	}
+
+	nj := len(cl.Compute)
+	// Per-joiner partitioners for each side.
+	leftParts := make([]*partitioner, nj)
+	rightParts := make([]*partitioner, nj)
+	for j := 0; j < nj; j++ {
+		leftParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/j%d/L", j),
+			leftSchema, buckets, flushRows)
+		rightParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/j%d/R", j),
+			rightSchema, buckets, flushRows)
+		leftParts[j].node = fmt.Sprintf("joiner-%d", j)
+		rightParts[j].node = leftParts[j].node
+		leftParts[j].rec = req.Trace
+		rightParts[j].rec = req.Trace
+	}
+
+	// Phase 1: partition the left table, then the right table.
+	partStart := time.Now()
+	if err := e.partitionTable(cl, req.LeftTable, leftFilter, project, req.JoinAttrs, batchRows, leftParts, req.Trace); err != nil {
+		return nil, err
+	}
+	if err := e.partitionTable(cl, req.RightTable, rightFilter, project, req.JoinAttrs, batchRows, rightParts, req.Trace); err != nil {
+		return nil, err
+	}
+	// Flush residual bucket buffers — on every joiner's scratch disk in
+	// parallel, as each joiner owns its disk.
+	flushErrs := make([]error, nj)
+	var flushWG sync.WaitGroup
+	for j := 0; j < nj; j++ {
+		flushWG.Add(1)
+		go func(j int) {
+			defer flushWG.Done()
+			if err := leftParts[j].flushAll(); err != nil {
+				flushErrs[j] = err
+				return
+			}
+			flushErrs[j] = rightParts[j].flushAll()
+		}(j)
+	}
+	flushWG.Wait()
+	for _, err := range flushErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	partElapsed := time.Since(partStart)
+
+	// Phase 2: each joiner joins its bucket pairs independently.
+	joinStart := time.Now()
+	outSchema := leftSchema.JoinResult(rightSchema, req.JoinAttrs, "r_")
+	var stats hashjoin.Stats
+	results := make([]*tuple.SubTable, nj)
+	errs := make([]error, nj)
+	var wg sync.WaitGroup
+	for j := 0; j < nj; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results[j], errs[j] = e.joinBuckets(cl.Compute[j], leftParts[j], rightParts[j],
+				req, wf, buckets, outSchema, &stats)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	joinElapsed := time.Since(joinStart)
+
+	res := &engine.Result{
+		Engine:  e.Name(),
+		Elapsed: time.Since(start),
+		Join: engine.JoinCounts{
+			TuplesBuilt:  stats.TuplesBuilt.Load(),
+			TuplesProbed: stats.TuplesProbed.Load(),
+			Matches:      stats.Matches.Load(),
+		},
+		Traffic: cl.Traffic(),
+		Phases: map[string]time.Duration{
+			"partition":  partElapsed,
+			"bucketjoin": joinElapsed,
+		},
+	}
+	res.Tuples = res.Join.Matches
+	if req.Collect {
+		res.Collected = results
+	}
+	return res, nil
+}
+
+// defaultBuckets sizes h2's range so one bucket of the larger side is
+// about DefaultBucketBytes.
+func (e *Engine) defaultBuckets(cl *cluster.Cluster, leftDef, rightDef *metadata.TableDef, req engine.Request) int {
+	var maxBytes int64
+	for _, def := range []*metadata.TableDef{leftDef, rightDef} {
+		var rows int64
+		for _, d := range cl.Catalog.Chunks(def.ID) {
+			rows += int64(d.Rows)
+		}
+		bytes := rows * int64(def.Schema.RecordSize())
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+	}
+	perJoiner := maxBytes / int64(len(cl.Compute))
+	b := int(perJoiner/DefaultBucketBytes) + 1
+	if b < 4 {
+		b = 4
+	}
+	return b
+}
+
+// partitionTable runs the storage-side QES instances for one table in
+// parallel: scan local matching sub-tables, split records by h1 into
+// per-joiner batches, ship each batch and hand it to the joiner's
+// partitioner.
+func (e *Engine) partitionTable(cl *cluster.Cluster, table string, filter metadata.Range,
+	project, joinAttrs []string, batchRows int, parts []*partitioner, rec *trace.Recorder) error {
+
+	nj := len(parts)
+	errs := make([]error, len(cl.Storage))
+	var wg sync.WaitGroup
+	for s := range cl.Storage {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sn := cl.Storage[s]
+			descs, err := sn.BDS.LocalChunks(table, filter)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			// Per-joiner outgoing batches.
+			var schema tuple.Schema
+			batches := make([]*tuple.SubTable, nj)
+			var keyIdxs []int
+			row := make([]float32, 0, 32)
+			node := fmt.Sprintf("storage-%d", s)
+			for _, d := range descs {
+				fetchStart := time.Now()
+				st, err := sn.BDS.SubTableProjected(d.ID(), &filter, project)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				rec.Span(node, trace.KindFetch, d.ID().String(), fetchStart,
+					int64(st.Bytes()), int64(st.NumRows()))
+				if batches[0] == nil {
+					schema = st.Schema
+					for j := range batches {
+						batches[j] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, batchRows)
+					}
+					keyIdxs, err = schema.Indexes(joinAttrs)
+					if err != nil {
+						errs[s] = err
+						return
+					}
+					row = make([]float32, schema.NumAttrs())
+				}
+				for r := 0; r < st.NumRows(); r++ {
+					j := int(h1(st.Key(r, keyIdxs)) % uint64(nj))
+					batches[j].AppendRow(st.Row(r, row)...)
+					if batches[j].NumRows() >= batchRows {
+						if err := e.shipBatch(cl, s, j, batches[j], parts[j], keyIdxs, rec); err != nil {
+							errs[s] = err
+							return
+						}
+						batches[j] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, batchRows)
+					}
+				}
+			}
+			for j, b := range batches {
+				if b != nil && b.NumRows() > 0 {
+					if err := e.shipBatch(cl, s, j, b, parts[j], keyIdxs, rec); err != nil {
+						errs[s] = err
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shipBatch models the network transfer of a record batch from storage
+// node s to joiner j and delivers it to the joiner's partitioner.
+func (e *Engine) shipBatch(cl *cluster.Cluster, s, j int, batch *tuple.SubTable,
+	part *partitioner, keyIdxs []int, rec *trace.Recorder) error {
+	start := time.Now()
+	cl.Ship(s, j, int64(batch.Bytes()))
+	rec.Span(fmt.Sprintf("storage-%d", s), trace.KindShip, part.node, start,
+		int64(batch.Bytes()), int64(batch.NumRows()))
+	return part.add(batch, keyIdxs)
+}
+
+// partitioner is the compute-node side of phase 1 for one table: it
+// applies h2 and spills bucket buffers to the node's scratch disk.
+type partitioner struct {
+	mu        sync.Mutex
+	disk      *simio.Disk
+	prefix    string
+	node      string
+	rec       *trace.Recorder
+	schema    tuple.Schema
+	buckets   []*tuple.SubTable
+	rows      []int64 // total rows spilled per bucket (for sizing checks)
+	flushRows int
+}
+
+func newPartitioner(disk *simio.Disk, prefix string, schema tuple.Schema, buckets, flushRows int) *partitioner {
+	p := &partitioner{
+		disk:      disk,
+		prefix:    prefix,
+		schema:    schema,
+		buckets:   make([]*tuple.SubTable, buckets),
+		rows:      make([]int64, buckets),
+		flushRows: flushRows,
+	}
+	for k := range p.buckets {
+		p.buckets[k] = tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(k)}, schema, flushRows)
+	}
+	return p
+}
+
+func (p *partitioner) object(k int) string { return fmt.Sprintf("%s/b%d", p.prefix, k) }
+
+// add partitions a batch into buckets, spilling full buffers.
+func (p *partitioner) add(batch *tuple.SubTable, keyIdxs []int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nb := uint64(len(p.buckets))
+	row := make([]float32, p.schema.NumAttrs())
+	for r := 0; r < batch.NumRows(); r++ {
+		k := int(h2(batch.Key(r, keyIdxs)) % nb)
+		p.buckets[k].AppendRow(batch.Row(r, row)...)
+		if p.buckets[k].NumRows() >= p.flushRows {
+			if err := p.spill(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// spill writes bucket k's buffer to scratch disk (raw row-major records)
+// and resets the buffer. Caller holds the lock.
+func (p *partitioner) spill(k int) error {
+	b := p.buckets[k]
+	if b.NumRows() == 0 {
+		return nil
+	}
+	start := time.Now()
+	data := encodeRows(b)
+	if err := p.disk.Append(p.object(k), data); err != nil {
+		return err
+	}
+	p.rec.Span(p.node, trace.KindSpill, p.object(k), start, int64(len(data)), int64(b.NumRows()))
+	p.rows[k] += int64(b.NumRows())
+	b.Reset()
+	return nil
+}
+
+// flushAll spills every non-empty buffer.
+func (p *partitioner) flushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.buckets {
+		if err := p.spill(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBucket loads bucket k back from scratch disk.
+func (p *partitioner) readBucket(k int) (*tuple.SubTable, error) {
+	if p.rows[k] == 0 {
+		return tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(k)}, p.schema, 0), nil
+	}
+	start := time.Now()
+	data, err := p.disk.ReadRange(p.object(k), 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodeRows(p.schema, data, int32(k))
+	if err != nil {
+		return nil, err
+	}
+	p.rec.Span(p.node, trace.KindBucketRead, p.object(k), start, int64(len(data)), int64(st.NumRows()))
+	return st, nil
+}
+
+// deleteBucket removes bucket k's object (post-join cleanup).
+func (p *partitioner) deleteBucket(k int) error {
+	return p.disk.Delete(p.object(k))
+}
+
+// joinBuckets is phase 2 for one joiner: join bucket pairs independently.
+func (e *Engine) joinBuckets(cn *cluster.ComputeNode, lp, rp *partitioner, req engine.Request,
+	wf, buckets int, outSchema tuple.Schema, stats *hashjoin.Stats) (*tuple.SubTable, error) {
+
+	out := tuple.NewSubTable(tuple.ID{Table: -2, Chunk: -1}, outSchema, 0)
+	for k := 0; k < buckets; k++ {
+		if lp.rows[k] == 0 || rp.rows[k] == 0 {
+			// An empty side produces nothing; skip reading the other.
+			continue
+		}
+		left, err := lp.readBucket(k)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rp.readBucket(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.joinPair(cn, lp, rp, fmt.Sprintf("b%d", k), left, right, req, wf, out, stats, 0, 0); err != nil {
+			return nil, err
+		}
+		if !req.Collect {
+			out.Reset()
+		}
+		if err := lp.deleteBucket(k); err != nil {
+			return nil, err
+		}
+		if err := rp.deleteBucket(k); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// overflow recursion bounds.
+const (
+	overflowFanout   = 8
+	overflowMaxDepth = 3
+)
+
+// joinPair joins one bucket pair in memory, recursively repartitioning
+// with the salted hash h3 when a side exceeds the memory cap. Each
+// recursion round-trips the repartitioned records through the joiner's
+// scratch disk, exactly as a memory-constrained node would, so the modeled
+// I/O cost of skew is paid. Past overflowMaxDepth (pathological duplicate
+// keys that no hash can split) the pair is joined in memory as a fallback.
+func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label string,
+	left, right *tuple.SubTable, req engine.Request, wf int,
+	out *tuple.SubTable, stats *hashjoin.Stats, salt uint64, depth int) error {
+
+	overflows := e.MemoryBytes > 0 &&
+		(int64(left.Bytes()) > e.MemoryBytes || int64(right.Bytes()) > e.MemoryBytes)
+	if overflows && depth < overflowMaxDepth {
+		keyIdxsL, err := left.Schema.Indexes(req.JoinAttrs)
+		if err != nil {
+			return err
+		}
+		keyIdxsR, err := right.Schema.Indexes(req.JoinAttrs)
+		if err != nil {
+			return err
+		}
+		subsL := splitBySaltedHash(left, keyIdxsL, salt)
+		subsR := splitBySaltedHash(right, keyIdxsR, salt)
+		for i := 0; i < overflowFanout; i++ {
+			if subsL[i].NumRows() == 0 || subsR[i].NumRows() == 0 {
+				continue
+			}
+			subLabel := fmt.Sprintf("%s.%d", label, i)
+			l, err := roundTrip(lp, subLabel, subsL[i])
+			if err != nil {
+				return err
+			}
+			r, err := roundTrip(rp, subLabel, subsR[i])
+			if err != nil {
+				return err
+			}
+			if err := e.joinPair(cn, lp, rp, subLabel, l, r, req, wf, out, stats, salt+1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	buildStart := time.Now()
+	ht, err := hashjoin.Build(left, req.JoinAttrs, wf, stats)
+	if err != nil {
+		return err
+	}
+	cn.SpendCPU(int64(left.NumRows()) * int64(wf))
+	req.Trace.Span(lp.node, trace.KindBuild, label, buildStart,
+		int64(left.Bytes()), int64(left.NumRows()))
+	probeStart := time.Now()
+	if _, err := ht.Probe(right, req.JoinAttrs, wf, out, stats); err != nil {
+		return err
+	}
+	cn.SpendCPU(int64(right.NumRows()) * int64(wf))
+	req.Trace.Span(lp.node, trace.KindProbe, label, probeStart,
+		int64(right.Bytes()), int64(right.NumRows()))
+	return nil
+}
+
+// splitBySaltedHash partitions rows into overflowFanout sub-tables by h3.
+func splitBySaltedHash(st *tuple.SubTable, keyIdxs []int, salt uint64) []*tuple.SubTable {
+	subs := make([]*tuple.SubTable, overflowFanout)
+	for i := range subs {
+		subs[i] = tuple.NewSubTable(st.ID, st.Schema, st.NumRows()/overflowFanout+1)
+	}
+	row := make([]float32, st.Schema.NumAttrs())
+	for r := 0; r < st.NumRows(); r++ {
+		i := int(h3(st.Key(r, keyIdxs), salt) % overflowFanout)
+		subs[i].AppendRow(st.Row(r, row)...)
+	}
+	return subs
+}
+
+// roundTrip spills a repartitioned sub-bucket to the joiner's scratch disk
+// and reads it back, paying the modeled I/O an out-of-core repartition
+// costs.
+func roundTrip(p *partitioner, label string, st *tuple.SubTable) (*tuple.SubTable, error) {
+	name := p.prefix + "/overflow/" + label
+	data := encodeRows(st)
+	start := time.Now()
+	if err := p.disk.Append(name, data); err != nil {
+		return nil, err
+	}
+	p.rec.Span(p.node, trace.KindSpill, name, start, int64(len(data)), int64(st.NumRows()))
+	start = time.Now()
+	back, err := p.disk.ReadRange(name, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeRows(p.schema, back, st.ID.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	p.rec.Span(p.node, trace.KindBucketRead, name, start, int64(len(back)), int64(out.NumRows()))
+	if err := p.disk.Delete(name); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// filterFor keeps only constraints naming attributes of def's schema.
+func filterFor(def *metadata.TableDef, f metadata.Range) metadata.Range {
+	var out metadata.Range
+	for i, a := range f.Attrs {
+		if def.Schema.Index(a) < 0 {
+			continue
+		}
+		out.Attrs = append(out.Attrs, a)
+		out.Lo = append(out.Lo, f.Lo[i])
+		out.Hi = append(out.Hi, f.Hi[i])
+	}
+	return out
+}

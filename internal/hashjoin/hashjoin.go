@@ -1,0 +1,181 @@
+// Package hashjoin implements the in-memory hash join sub-routine both
+// distributed join algorithms employ: build a hash table over the left
+// (inner) relation keyed on the join attributes, then probe it with each
+// record of the right (outer) relation.
+//
+// As in the paper's cost model, the build stores only row references (not
+// record copies), so build and probe cost per tuple is independent of
+// record size (α_build, α_lookup). The workFactor argument multiplies the
+// *charged* operation counts (Stats), the paper's technique of performing
+// each build/lookup k times to emulate a 1/k-speed CPU; the QES charges
+// those operations to its compute node's modeled CPU.
+package hashjoin
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sciview/internal/tuple"
+)
+
+// Stats counts the CPU-cost drivers of the cost models. Counters are
+// atomic so concurrent QES instances can share one Stats.
+type Stats struct {
+	// TuplesBuilt counts hash-table insertions (×WorkFactor repeats).
+	TuplesBuilt atomic.Int64
+	// TuplesProbed counts lookup operations (×WorkFactor repeats).
+	TuplesProbed atomic.Int64
+	// Matches counts result tuples produced.
+	Matches atomic.Int64
+}
+
+// HashTable is a hash table over a left sub-table, keyed on join
+// attributes, mapping packed keys to row indices.
+type HashTable struct {
+	left    *tuple.SubTable
+	keyIdxs []int
+	buckets map[uint64][]int32
+}
+
+// Build constructs a hash table over left on the given key attributes,
+// repeating each insertion workFactor times (>= 1) and accounting into
+// stats (which may be nil).
+func Build(left *tuple.SubTable, keys []string, workFactor int, stats *Stats) (*HashTable, error) {
+	if workFactor < 1 {
+		workFactor = 1
+	}
+	keyIdxs, err := left.Schema.Indexes(keys)
+	if err != nil {
+		return nil, fmt.Errorf("hashjoin: build: %w", err)
+	}
+	ht := &HashTable{
+		left:    left,
+		keyIdxs: keyIdxs,
+		buckets: make(map[uint64][]int32, left.NumRows()),
+	}
+	n := left.NumRows()
+	for r := 0; r < n; r++ {
+		k := left.Key(r, keyIdxs)
+		ht.buckets[k] = append(ht.buckets[k], int32(r))
+	}
+	if stats != nil {
+		stats.TuplesBuilt.Add(int64(n * workFactor))
+	}
+	return ht, nil
+}
+
+// Left returns the build-side sub-table.
+func (ht *HashTable) Left() *tuple.SubTable { return ht.left }
+
+// Probe scans right, looks each record up in the hash table (workFactor
+// times), and appends matching joined records to out, whose schema must be
+// left.Schema.JoinResult(right.Schema, keys, ...). It returns the number of
+// result tuples appended.
+func (ht *HashTable) Probe(right *tuple.SubTable, keys []string, workFactor int, out *tuple.SubTable, stats *Stats) (int, error) {
+	if workFactor < 1 {
+		workFactor = 1
+	}
+	rKeyIdxs, err := right.Schema.Indexes(keys)
+	if err != nil {
+		return 0, fmt.Errorf("hashjoin: probe: %w", err)
+	}
+	// Non-key right columns, in right schema order: these follow the left
+	// attributes in the result schema.
+	isKey := make([]bool, right.Schema.NumAttrs())
+	for _, i := range rKeyIdxs {
+		isKey[i] = true
+	}
+	var rValIdxs []int
+	for i := range right.Schema.Attrs {
+		if !isKey[i] {
+			rValIdxs = append(rValIdxs, i)
+		}
+	}
+	wantAttrs := ht.left.Schema.NumAttrs() + len(rValIdxs)
+	if out.Schema.NumAttrs() != wantAttrs {
+		return 0, fmt.Errorf("hashjoin: output schema has %d attrs, want %d", out.Schema.NumAttrs(), wantAttrs)
+	}
+
+	n := right.NumRows()
+	matches := 0
+	row := make([]float32, wantAttrs)
+	for r := 0; r < n; r++ {
+		k := right.Key(r, rKeyIdxs)
+		for _, lr := range ht.buckets[k] {
+			if !ht.left.KeysEqual(int(lr), ht.keyIdxs, right, r, rKeyIdxs) {
+				continue
+			}
+			for c := 0; c < ht.left.Schema.NumAttrs(); c++ {
+				row[c] = ht.left.Value(int(lr), c)
+			}
+			for i, rc := range rValIdxs {
+				row[ht.left.Schema.NumAttrs()+i] = right.Value(r, rc)
+			}
+			out.AppendRow(row...)
+			matches++
+		}
+	}
+	if stats != nil {
+		stats.TuplesProbed.Add(int64(n * workFactor))
+		stats.Matches.Add(int64(matches))
+	}
+	return matches, nil
+}
+
+// Join builds over left and probes with right in one call, returning the
+// joined sub-table. It is the per-edge operation of the IJ algorithm and
+// the per-bucket-pair operation of Grace Hash.
+func Join(left, right *tuple.SubTable, keys []string, workFactor int, stats *Stats) (*tuple.SubTable, error) {
+	ht, err := Build(left, keys, workFactor, stats)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := left.Schema.JoinResult(right.Schema, keys, "r_")
+	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: -1}, outSchema, 0)
+	if _, err := ht.Probe(right, keys, workFactor, out, stats); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NestedLoop is the O(n·m) reference join used to validate the hash join
+// in tests. It scans the right (outer) relation in the outer loop, so when
+// left keys are unique the output order matches Probe's.
+func NestedLoop(left, right *tuple.SubTable, keys []string) (*tuple.SubTable, error) {
+	lIdx, err := left.Schema.Indexes(keys)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := right.Schema.Indexes(keys)
+	if err != nil {
+		return nil, err
+	}
+	isKey := make([]bool, right.Schema.NumAttrs())
+	for _, i := range rIdx {
+		isKey[i] = true
+	}
+	var rValIdxs []int
+	for i := range right.Schema.Attrs {
+		if !isKey[i] {
+			rValIdxs = append(rValIdxs, i)
+		}
+	}
+	outSchema := left.Schema.JoinResult(right.Schema, keys, "r_")
+	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: -1}, outSchema, 0)
+	row := make([]float32, outSchema.NumAttrs())
+	for rr := 0; rr < right.NumRows(); rr++ {
+		for lr := 0; lr < left.NumRows(); lr++ {
+			if !left.KeysEqual(lr, lIdx, right, rr, rIdx) {
+				continue
+			}
+			for c := 0; c < left.Schema.NumAttrs(); c++ {
+				row[c] = left.Value(lr, c)
+			}
+			for i, rc := range rValIdxs {
+				row[left.Schema.NumAttrs()+i] = right.Value(rr, rc)
+			}
+			out.AppendRow(row...)
+		}
+	}
+	return out, nil
+}

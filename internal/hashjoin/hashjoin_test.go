@@ -1,0 +1,248 @@
+package hashjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sciview/internal/tuple"
+)
+
+func leftSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Attr{Name: "x", Kind: tuple.Coord},
+		tuple.Attr{Name: "y", Kind: tuple.Coord},
+		tuple.Attr{Name: "oilp", Kind: tuple.Measure},
+	)
+}
+
+func rightSchema() tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Attr{Name: "x", Kind: tuple.Coord},
+		tuple.Attr{Name: "y", Kind: tuple.Coord},
+		tuple.Attr{Name: "wp", Kind: tuple.Measure},
+	)
+}
+
+// makePair builds matching left/right tables over an n-point key set with
+// selectivity 1 (each left key has exactly one right partner), with the
+// right side shuffled.
+func makePair(n int, seed int64) (*tuple.SubTable, *tuple.SubTable) {
+	r := rand.New(rand.NewSource(seed))
+	left := tuple.NewSubTable(tuple.ID{Table: 0, Chunk: 0}, leftSchema(), n)
+	right := tuple.NewSubTable(tuple.ID{Table: 1, Chunk: 0}, rightSchema(), n)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		x, y := float32(i%64), float32(i/64)
+		left.AppendRow(x, y, float32(i))
+	}
+	for _, i := range perm {
+		x, y := float32(i%64), float32(i/64)
+		right.AppendRow(x, y, float32(i)+0.5)
+	}
+	return left, right
+}
+
+func TestJoinSelectivityOne(t *testing.T) {
+	left, right := makePair(500, 1)
+	var stats Stats
+	out, err := Join(left, right, []string{"x", "y"}, 1, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 500 {
+		t.Fatalf("result rows = %d, want 500", out.NumRows())
+	}
+	// Result schema: x, y, oilp, wp.
+	want := []string{"x", "y", "oilp", "wp"}
+	if got := out.Schema.Names(); len(got) != 4 || got[0] != want[0] || got[3] != want[3] {
+		t.Fatalf("result schema = %v", got)
+	}
+	// Every row: oilp = i, wp = i+0.5 for key i.
+	for r := 0; r < out.NumRows(); r++ {
+		i := out.Value(r, 2)
+		if out.Value(r, 3) != i+0.5 {
+			t.Fatalf("row %d: oilp=%v wp=%v mismatched", r, i, out.Value(r, 3))
+		}
+	}
+	if stats.TuplesBuilt.Load() != 500 || stats.TuplesProbed.Load() != 500 || stats.Matches.Load() != 500 {
+		t.Errorf("stats = built %d probed %d matches %d",
+			stats.TuplesBuilt.Load(), stats.TuplesProbed.Load(), stats.Matches.Load())
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	left, _ := makePair(100, 2)
+	right := tuple.NewSubTable(tuple.ID{}, rightSchema(), 0)
+	for i := 0; i < 100; i++ {
+		right.AppendRow(float32(i+1000), 0, 1)
+	}
+	out, err := Join(left, right, []string{"x", "y"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Errorf("expected empty result, got %d rows", out.NumRows())
+	}
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	// 3 left rows and 2 right rows share one key: 6 result tuples.
+	left := tuple.NewSubTable(tuple.ID{}, leftSchema(), 0)
+	right := tuple.NewSubTable(tuple.ID{}, rightSchema(), 0)
+	for i := 0; i < 3; i++ {
+		left.AppendRow(7, 7, float32(i))
+	}
+	for i := 0; i < 2; i++ {
+		right.AppendRow(7, 7, float32(i))
+	}
+	out, err := Join(left, right, []string{"x", "y"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6 {
+		t.Errorf("rows = %d, want 6", out.NumRows())
+	}
+}
+
+func TestWorkFactorCountsScale(t *testing.T) {
+	left, right := makePair(200, 3)
+	var s1, s2 Stats
+	if _, err := Join(left, right, []string{"x", "y"}, 1, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Join(left, right, []string{"x", "y"}, 4, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.TuplesBuilt.Load() != 4*s1.TuplesBuilt.Load() {
+		t.Errorf("built: %d vs %d", s2.TuplesBuilt.Load(), s1.TuplesBuilt.Load())
+	}
+	if s2.TuplesProbed.Load() != 4*s1.TuplesProbed.Load() {
+		t.Errorf("probed: %d vs %d", s2.TuplesProbed.Load(), s1.TuplesProbed.Load())
+	}
+	// Result must be identical regardless of work factor.
+	if s2.Matches.Load() != s1.Matches.Load() {
+		t.Errorf("matches differ: %d vs %d", s2.Matches.Load(), s1.Matches.Load())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	left, right := makePair(10, 5)
+	if _, err := Build(left, []string{"nope"}, 1, nil); err == nil {
+		t.Error("unknown build key should fail")
+	}
+	ht, err := Build(left, []string{"x", "y"}, 0, nil) // workFactor 0 clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Left() != left {
+		t.Error("Left() accessor wrong")
+	}
+	out := tuple.NewSubTable(tuple.ID{}, leftSchema(), 0) // wrong arity (3 vs 4)
+	if _, err := ht.Probe(right, []string{"x", "y"}, 1, out, nil); err == nil {
+		t.Error("wrong output schema should fail")
+	}
+	if _, err := ht.Probe(right, []string{"zz"}, 1, out, nil); err == nil {
+		t.Error("unknown probe key should fail")
+	}
+}
+
+func sortRows(st *tuple.SubTable) [][]float32 {
+	rows := make([][]float32, st.NumRows())
+	for r := range rows {
+		rows[r] = st.Row(r, nil)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for c := range rows[i] {
+			if rows[i][c] != rows[j][c] {
+				return rows[i][c] < rows[j][c]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func TestPropMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Small key domain to force collisions and many-to-many matches.
+		nl, nr := 1+r.Intn(60), 1+r.Intn(60)
+		left := tuple.NewSubTable(tuple.ID{}, leftSchema(), nl)
+		right := tuple.NewSubTable(tuple.ID{}, rightSchema(), nr)
+		for i := 0; i < nl; i++ {
+			left.AppendRow(float32(r.Intn(8)), float32(r.Intn(8)), r.Float32())
+		}
+		for i := 0; i < nr; i++ {
+			right.AppendRow(float32(r.Intn(8)), float32(r.Intn(8)), r.Float32())
+		}
+		keys := []string{"x", "y"}
+		got, err := Join(left, right, keys, 1, nil)
+		if err != nil {
+			return false
+		}
+		want, err := NestedLoop(left, right, keys)
+		if err != nil {
+			return false
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Logf("rows: hash %d, nested loop %d", got.NumRows(), want.NumRows())
+			return false
+		}
+		gr, wr := sortRows(got), sortRows(want)
+		for i := range gr {
+			for c := range gr[i] {
+				if gr[i][c] != wr[i][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleKeyJoin(t *testing.T) {
+	left, right := makePair(64, 7) // all y values distinct for i<64
+	out, err := Join(left, right, []string{"x"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=64: x = i%64 all distinct, so 64 matches; schema keeps right y as r_y.
+	if out.NumRows() != 64 {
+		t.Errorf("rows = %d, want 64", out.NumRows())
+	}
+	if out.Schema.Index("r_y") < 0 {
+		t.Errorf("expected r_y in schema %v", out.Schema.Names())
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	left, _ := makePair(1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(left, []string{"x", "y"}, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(1<<16), "ns/tuple")
+}
+
+func BenchmarkProbe(b *testing.B) {
+	left, right := makePair(1<<16, 1)
+	ht, err := Build(left, []string{"x", "y"}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tuple.NewSubTable(tuple.ID{}, left.Schema.JoinResult(right.Schema, []string{"x", "y"}, "r_"), right.NumRows())
+		if _, err := ht.Probe(right, []string{"x", "y"}, 1, out, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(1<<16), "ns/tuple")
+}

@@ -1,0 +1,331 @@
+// Package ij implements the page-level Indexed Join QES.
+//
+// The sub-table connectivity graph (page-level join index) gives the
+// candidate sub-table pairs. Scheduling follows the paper's two-stage
+// strategy: connected components are dealt round-robin to compute-node QES
+// instances so each gets the same amount of work, then each instance sorts
+// its local id pairs lexicographically by ((i1,j1),(i2,j2)). Sub-tables are
+// fetched from BDS instances through the per-node LRU Caching Service; the
+// lexicographic order makes all edges of one left sub-table consecutive, so
+// a hash table is built only once per left sub-table.
+package ij
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sciview/internal/chunk"
+	"sciview/internal/cluster"
+	"sciview/internal/congraph"
+	"sciview/internal/engine"
+	"sciview/internal/hashjoin"
+	"sciview/internal/metadata"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Schedule selects the edge-scheduling strategy. The paper's two-stage
+// strategy is the default; the alternatives exist as ablations of its
+// design choices (see the harness's schedule ablation).
+type Schedule int
+
+const (
+	// ScheduleComponent is the paper's strategy: components dealt
+	// round-robin to joiners, edges sorted lexicographically within each
+	// component and components processed one after another.
+	ScheduleComponent Schedule = iota
+	// ScheduleGlobalLex deals components round-robin but sorts each
+	// joiner's full edge list lexicographically, interleaving components
+	// and breaking the working-set guarantee.
+	ScheduleGlobalLex
+	// ScheduleRandom ignores components entirely: edges are dealt
+	// round-robin in a deterministic shuffled order, so sub-tables are
+	// fetched by several joiners and locality is destroyed.
+	ScheduleRandom
+	// ScheduleOPAS applies an Optimal-Page-Access-Sequence-style greedy
+	// heuristic (the related work's approach) to each joiner's edges,
+	// simulating the node cache to pick the cheapest next edge.
+	ScheduleOPAS
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleComponent:
+		return "component"
+	case ScheduleGlobalLex:
+		return "global-lex"
+	case ScheduleRandom:
+		return "random"
+	case ScheduleOPAS:
+		return "opas"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Engine is the Indexed Join QES. The zero value is ready to use and uses
+// the paper's scheduling strategy.
+type Engine struct {
+	// Schedule overrides the edge-scheduling strategy (ablations only).
+	Schedule Schedule
+}
+
+// New returns an Indexed Join engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "ij" }
+
+// edge is a scheduled sub-table pair with resolved ids.
+type edge struct {
+	left  tuple.ID
+	right tuple.ID
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	wf := req.WorkFactor
+	if wf < 1 {
+		wf = 1
+	}
+	leftDef, err := cl.Catalog.Table(req.LeftTable)
+	if err != nil {
+		return nil, err
+	}
+	rightDef, err := cl.Catalog.Table(req.RightTable)
+	if err != nil {
+		return nil, err
+	}
+	leftFilter := engineFilterFor(leftDef, req.Filter)
+	rightFilter := engineFilterFor(rightDef, req.Filter)
+
+	cl.AcquireRun()
+	defer cl.ReleaseRun()
+	cl.Reset()
+	start := time.Now()
+
+	// Consult the (pre-computable) page-level join index: resolve in-range
+	// chunks and their connectivity.
+	leftDescs, err := cl.Catalog.ChunksInRange(req.LeftTable, leftFilter)
+	if err != nil {
+		return nil, err
+	}
+	rightDescs, err := cl.Catalog.ChunksInRange(req.RightTable, rightFilter)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := congraph.Build(leftDescs, rightDescs, req.JoinAttrs)
+	if err != nil {
+		return nil, err
+	}
+	comps := graph.Components()
+
+	nj := len(cl.Compute)
+	schedules := e.buildSchedules(comps, leftDescs, rightDescs, nj, cl.Config.CacheBytes)
+
+	project := req.EffectiveProject()
+	outSchema := engine.ProjectedSchema(leftDef.Schema, project).
+		JoinResult(engine.ProjectedSchema(rightDef.Schema, project), req.JoinAttrs, "r_")
+	var stats hashjoin.Stats
+	results := make([]*tuple.SubTable, nj)
+	errs := make([]error, nj)
+	var wg sync.WaitGroup
+	for j := 0; j < nj; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results[j], errs[j] = e.runJoiner(cl, j, schedules[j], req, wf,
+				leftFilter, rightFilter, project, outSchema, &stats)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &engine.Result{
+		Engine:  e.Name(),
+		Elapsed: time.Since(start),
+		Join: engine.JoinCounts{
+			TuplesBuilt:  stats.TuplesBuilt.Load(),
+			TuplesProbed: stats.TuplesProbed.Load(),
+			Matches:      stats.Matches.Load(),
+		},
+		Traffic: cl.Traffic(),
+		Phases:  map[string]time.Duration{},
+	}
+	res.Tuples = res.Join.Matches
+	for _, cn := range cl.Compute {
+		s := cn.Cache.Stats()
+		res.Cache.Hits += s.Hits
+		res.Cache.Misses += s.Misses
+		res.Cache.Evictions += s.Evictions
+	}
+	if req.Collect {
+		res.Collected = results
+	}
+	return res, nil
+}
+
+// buildSchedules assigns edges to joiner nodes per the engine's strategy.
+//
+// The default (ScheduleComponent) is the paper's two-stage strategy.
+// Stage 1 deals connected components round-robin to joiner nodes, so every
+// QES instance gets the same amount of work. Stage 2 sorts the id pairs of
+// each component lexicographically by ((i1,j1),(i2,j2)) and processes
+// components one after another. Component-local order is what gives the
+// paper's no-eviction guarantee under the memory assumption
+// (cache ≥ 2·c_R + b·c_S): a component's right sub-tables stay cached
+// while its left sub-tables stream through once each.
+func (e *Engine) buildSchedules(comps []congraph.Component, leftDescs, rightDescs []*chunk.Desc, nj int, cacheBytes int64) [][]edge {
+	if e.Schedule == ScheduleOPAS {
+		return opasSchedules(comps, leftDescs, rightDescs, nj, cacheBytes)
+	}
+	schedules := make([][]edge, nj)
+	mk := func(ce congraph.Edge) edge {
+		return edge{left: leftDescs[ce.Left].ID(), right: rightDescs[ce.Right].ID()}
+	}
+	lexSort := func(sched []edge) {
+		sort.Slice(sched, func(a, b int) bool {
+			if sched[a].left != sched[b].left {
+				return sched[a].left.Less(sched[b].left)
+			}
+			return sched[a].right.Less(sched[b].right)
+		})
+	}
+	switch e.Schedule {
+	case ScheduleGlobalLex:
+		for k, comp := range comps {
+			j := k % nj
+			for _, ce := range comp.Edges {
+				schedules[j] = append(schedules[j], mk(ce))
+			}
+		}
+		for _, sched := range schedules {
+			lexSort(sched)
+		}
+	case ScheduleRandom:
+		var all []edge
+		for _, comp := range comps {
+			for _, ce := range comp.Edges {
+				all = append(all, mk(ce))
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		rng.Shuffle(len(all), func(a, b int) { all[a], all[b] = all[b], all[a] })
+		for i, ed := range all {
+			schedules[i%nj] = append(schedules[i%nj], ed)
+		}
+	default: // ScheduleComponent
+		for k, comp := range comps {
+			j := k % nj
+			start := len(schedules[j])
+			for _, ce := range comp.Edges {
+				schedules[j] = append(schedules[j], mk(ce))
+			}
+			lexSort(schedules[j][start:])
+		}
+	}
+	return schedules
+}
+
+// runJoiner executes one compute node's schedule.
+func (e *Engine) runJoiner(cl *cluster.Cluster, j int, sched []edge, req engine.Request,
+	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
+	stats *hashjoin.Stats) (*tuple.SubTable, error) {
+
+	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(j)}, outSchema, 0)
+	cn := cl.Compute[j]
+	node := fmt.Sprintf("joiner-%d", j)
+	var (
+		ht     *hashjoin.HashTable
+		htLeft tuple.ID
+		haveHT bool
+	)
+	for _, ed := range sched {
+		left, err := e.cachedFetch(cl, j, node, ed.left, &leftFilter, project, req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		if !haveHT || htLeft != ed.left {
+			start := time.Now()
+			ht, err = hashjoin.Build(left, req.JoinAttrs, wf, stats)
+			if err != nil {
+				return nil, err
+			}
+			htLeft, haveHT = ed.left, true
+			cn.SpendCPU(int64(left.NumRows()) * int64(wf))
+			req.Trace.Span(node, trace.KindBuild, ed.left.String(), start,
+				int64(left.Bytes()), int64(left.NumRows()))
+		}
+		right, err := e.cachedFetch(cl, j, node, ed.right, &rightFilter, project, req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := ht.Probe(right, req.JoinAttrs, wf, out, stats); err != nil {
+			return nil, err
+		}
+		cn.SpendCPU(int64(right.NumRows()) * int64(wf))
+		req.Trace.Span(node, trace.KindProbe, ed.right.String(), start,
+			int64(right.Bytes()), int64(right.NumRows()))
+		if !req.Collect {
+			out.Reset()
+		}
+	}
+	return out, nil
+}
+
+// cachedFetch consults the joiner's Caching Service before asking the
+// owning BDS instance for the sub-table.
+func (e *Engine) cachedFetch(cl *cluster.Cluster, j int, node string, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
+	c := cl.Compute[j].Cache
+	if st, ok := c.Get(id); ok {
+		return st, nil
+	}
+	start := time.Now()
+	st, err := cl.FetchProjected(j, id, filter, project)
+	if err != nil {
+		return nil, err
+	}
+	rec.Span(node, trace.KindFetch, id.String(), start, int64(st.Bytes()), int64(st.NumRows()))
+	c.Put(id, st, int64(st.Bytes()))
+	return st, nil
+}
+
+// engineFilterFor keeps only the constraints naming attributes of def's
+// schema — constraints on the other table's attributes do not apply here.
+func engineFilterFor(def *metadata.TableDef, f metadata.Range) metadata.Range {
+	var out metadata.Range
+	for i, a := range f.Attrs {
+		if def.Schema.Index(a) < 0 {
+			continue
+		}
+		out.Attrs = append(out.Attrs, a)
+		out.Lo = append(out.Lo, f.Lo[i])
+		out.Hi = append(out.Hi, f.Hi[i])
+	}
+	return out
+}
+
+// verify interface compliance.
+var _ engine.Engine = (*Engine)(nil)
+
+// CacheBytesFor returns the per-joiner cache capacity satisfying the
+// paper's memory assumption for ideal IJ behaviour: at least
+// 2·c_R·RS_R + b·c_S·RS_S bytes (two left sub-tables plus one component's
+// right sub-tables).
+func CacheBytesFor(cR int64, rsR int, b int64, cS int64, rsS int) int64 {
+	return 2*cR*int64(rsR) + b*cS*int64(rsS)
+}
+
+// String describes the engine.
+func (e *Engine) String() string { return "IndexedJoin" }

@@ -1,0 +1,146 @@
+package metadata
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sciview/internal/chunk"
+	"sciview/internal/transport"
+)
+
+// The MetaData Service's RPC surface lets remote components — standalone
+// BDS nodes, external query front ends — resolve tables and range queries
+// without a local catalog copy. Requests and responses are gob-encoded.
+
+// ServiceName is the transport registration name of the MetaData Service.
+const ServiceName = "metadata"
+
+// Serve registers the catalog's RPC handler on tr.
+func (c *Catalog) Serve(tr transport.Transport) (io.Closer, error) {
+	return tr.Serve(ServiceName, c.handle)
+}
+
+type tableReq struct {
+	Name string
+}
+
+type chunksInRangeReq struct {
+	Table string
+	Range Range
+}
+
+type tablesResp struct {
+	Tables []TableDef
+}
+
+type chunksResp struct {
+	Chunks []*chunk.Desc
+}
+
+func (c *Catalog) handle(method string, payload []byte) ([]byte, error) {
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	var out bytes.Buffer
+	enc := gob.NewEncoder(&out)
+	switch method {
+	case "table":
+		var req tableReq
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("metadata: decoding table request: %w", err)
+		}
+		def, err := c.Table(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := enc.Encode(*def); err != nil {
+			return nil, err
+		}
+	case "tables":
+		defs := c.Tables()
+		resp := tablesResp{}
+		for _, d := range defs {
+			resp.Tables = append(resp.Tables, *d)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return nil, err
+		}
+	case "chunks-in-range":
+		var req chunksInRangeReq
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("metadata: decoding range request: %w", err)
+		}
+		descs, err := c.ChunksInRange(req.Table, req.Range)
+		if err != nil {
+			return nil, err
+		}
+		if err := enc.Encode(chunksResp{Chunks: descs}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("metadata: unknown method %q", method)
+	}
+	return out.Bytes(), nil
+}
+
+// Client is a remote catalog handle mirroring the read API used by query
+// components.
+type Client struct {
+	conn transport.Conn
+}
+
+// Dial connects to a served MetaData Service.
+func Dial(tr transport.Transport) (*Client, error) {
+	conn, err := tr.Dial(ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// ClientFromConn wraps an established connection.
+func ClientFromConn(conn transport.Conn) *Client { return &Client{conn: conn} }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(method string, req, resp interface{}) error {
+	var buf bytes.Buffer
+	if req != nil {
+		if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+			return fmt.Errorf("metadata: encoding %s request: %w", method, err)
+		}
+	}
+	out, err := c.conn.Call(method, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(out)).Decode(resp)
+}
+
+// Table fetches one table definition.
+func (c *Client) Table(name string) (*TableDef, error) {
+	var def TableDef
+	if err := c.call("table", tableReq{Name: name}, &def); err != nil {
+		return nil, err
+	}
+	return &def, nil
+}
+
+// Tables fetches every table definition.
+func (c *Client) Tables() ([]TableDef, error) {
+	var resp tablesResp
+	if err := c.call("tables", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// ChunksInRange resolves a range query to chunk descriptors remotely.
+func (c *Client) ChunksInRange(table string, r Range) ([]*chunk.Desc, error) {
+	var resp chunksResp
+	if err := c.call("chunks-in-range", chunksInRangeReq{Table: table, Range: r}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Chunks, nil
+}

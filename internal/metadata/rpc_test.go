@@ -1,0 +1,82 @@
+package metadata
+
+import (
+	"testing"
+
+	"sciview/internal/transport"
+)
+
+func testRPC(t *testing.T, tr transport.Transport) {
+	t.Helper()
+	cat, _ := addGridChunks(t, 4, 4, 2)
+	closer, err := cat.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	client, err := Dial(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	def, err := client.Table("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "T1" || !def.Schema.Equal(schema3d()) {
+		t.Errorf("remote table def = %+v", def)
+	}
+	if _, err := client.Table("nope"); err == nil {
+		t.Error("unknown table accepted over RPC")
+	}
+
+	defs, err := client.Tables()
+	if err != nil || len(defs) != 1 {
+		t.Fatalf("Tables: %v len=%d", err, len(defs))
+	}
+
+	descs, err := client.ChunksInRange("T1", Range{
+		Attrs: []string{"x"}, Lo: []float64{0}, Hi: []float64{15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x in [0,15] covers i=0,1 of 4: 2*4*2 = 16 chunks.
+	if len(descs) != 16 {
+		t.Errorf("ranged chunks = %d, want 16", len(descs))
+	}
+	for _, d := range descs {
+		if d.Bounds.Lo[0] > 15 {
+			t.Errorf("chunk %v outside range", d.ID())
+		}
+	}
+	// Invalid range errors propagate.
+	if _, err := client.ChunksInRange("T1", Range{
+		Attrs: []string{"x"}, Lo: []float64{5}, Hi: []float64{1},
+	}); err == nil {
+		t.Error("inverted range accepted over RPC")
+	}
+}
+
+func TestRPCInProc(t *testing.T) { testRPC(t, transport.NewInProc()) }
+
+func TestRPCTCP(t *testing.T) { testRPC(t, transport.NewTCP()) }
+
+func TestRPCUnknownMethod(t *testing.T) {
+	tr := transport.NewInProc()
+	cat := NewCatalog()
+	closer, err := cat.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	conn, err := tr.Dial(ServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Call("bogus", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,11 @@
+package oilres
+
+import (
+	"sciview/internal/chunk"
+	"sciview/internal/tuple"
+)
+
+// extractHelper runs the registered extractor for a descriptor.
+func extractHelper(d *chunk.Desc, data []byte) (*tuple.SubTable, error) {
+	return chunk.Extract(d, data)
+}

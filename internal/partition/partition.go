@@ -1,0 +1,157 @@
+// Package partition implements regular grid partitioning of a 3-D dataset
+// and the paper's Section 6 formulas for component size, component count
+// and edge count of the resulting sub-table connectivity graph.
+//
+// A dataset covers the grid [(0,0,0), (g_x,g_y,g_z)) of unit cells. A table
+// partitioned with sizes (p_x,p_y,p_z) is split into axis-aligned blocks of
+// that many cells; each block becomes one chunk / sub-table. Chunks are
+// distributed across storage nodes in a block-cyclic manner, as in the
+// paper's experimental setup.
+package partition
+
+import "fmt"
+
+// Dims is a 3-component extent (grid size or partition size), in cells.
+type Dims struct {
+	X, Y, Z int
+}
+
+// D is a convenience constructor for Dims.
+func D(x, y, z int) Dims { return Dims{X: x, Y: y, Z: z} }
+
+// Cells returns the number of grid cells covered, X·Y·Z.
+func (d Dims) Cells() int64 { return int64(d.X) * int64(d.Y) * int64(d.Z) }
+
+// Positive reports whether every component is >= 1.
+func (d Dims) Positive() bool { return d.X >= 1 && d.Y >= 1 && d.Z >= 1 }
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// Spec is a partitioning of a grid by a block size. The block size must
+// divide the grid evenly in each dimension (the paper's datasets are
+// regularly partitioned; see Validate).
+type Spec struct {
+	Grid Dims // g
+	Part Dims // p (or q)
+}
+
+// Validate checks that the partitioning is regular.
+func (s Spec) Validate() error {
+	if !s.Grid.Positive() || !s.Part.Positive() {
+		return fmt.Errorf("partition: non-positive dims (grid %v, part %v)", s.Grid, s.Part)
+	}
+	if s.Grid.X%s.Part.X != 0 || s.Grid.Y%s.Part.Y != 0 || s.Grid.Z%s.Part.Z != 0 {
+		return fmt.Errorf("partition: part %v does not evenly divide grid %v", s.Part, s.Grid)
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks per dimension.
+func (s Spec) Blocks() Dims {
+	return Dims{X: s.Grid.X / s.Part.X, Y: s.Grid.Y / s.Part.Y, Z: s.Grid.Z / s.Part.Z}
+}
+
+// NumChunks returns the total number of chunks (sub-tables), T/c in the
+// paper's notation (m_R or m_S).
+func (s Spec) NumChunks() int64 { return s.Blocks().Cells() }
+
+// TuplesPerChunk returns c_R (or c_S): p_x·p_y·p_z.
+func (s Spec) TuplesPerChunk() int64 { return s.Part.Cells() }
+
+// ChunkIndex converts block coordinates to a linear chunk id, x-major:
+// id = (bz·BY + by)·BX + bx. The inverse is ChunkCoords.
+func (s Spec) ChunkIndex(bx, by, bz int) int {
+	b := s.Blocks()
+	return (bz*b.Y+by)*b.X + bx
+}
+
+// ChunkCoords converts a linear chunk id back to block coordinates.
+func (s Spec) ChunkCoords(id int) (bx, by, bz int) {
+	b := s.Blocks()
+	bx = id % b.X
+	by = (id / b.X) % b.Y
+	bz = id / (b.X * b.Y)
+	return
+}
+
+// CellRange returns the half-open cell range [lo, lo+Part) of block
+// (bx,by,bz) in each dimension.
+func (s Spec) CellRange(bx, by, bz int) (lo Dims, hi Dims) {
+	lo = Dims{X: bx * s.Part.X, Y: by * s.Part.Y, Z: bz * s.Part.Z}
+	hi = Dims{X: lo.X + s.Part.X, Y: lo.Y + s.Part.Y, Z: lo.Z + s.Part.Z}
+	return
+}
+
+// BlockCyclicNode assigns chunk id to one of n storage nodes round-robin,
+// the block-cyclic distribution of the paper's experiments.
+func BlockCyclicNode(chunkID, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return chunkID % n
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ComponentSize returns C = (max(p_x,q_x), max(p_y,q_y), max(p_z,q_z)),
+// the paper's formula for the spatial extent of one connected component of
+// the sub-table connectivity graph between two partitionings of the same
+// grid.
+func ComponentSize(p, q Dims) Dims {
+	return Dims{X: maxI(p.X, q.X), Y: maxI(p.Y, q.Y), Z: maxI(p.Z, q.Z)}
+}
+
+// NumComponents returns N_C = (g_x·g_y·g_z)/(C_x·C_y·C_z).
+func NumComponents(g, p, q Dims) int64 {
+	c := ComponentSize(p, q)
+	return g.Cells() / c.Cells()
+}
+
+// EdgesPerComponent returns E_C = ∏_d ceil(max(p_d,q_d)/min(p_d,q_d)).
+func EdgesPerComponent(p, q Dims) int64 {
+	ex := ceilDiv(maxI(p.X, q.X), minI(p.X, q.X))
+	ey := ceilDiv(maxI(p.Y, q.Y), minI(p.Y, q.Y))
+	ez := ceilDiv(maxI(p.Z, q.Z), minI(p.Z, q.Z))
+	return int64(ex) * int64(ey) * int64(ez)
+}
+
+// NumEdges returns n_e = N_C · E_C, the number of edges in the sub-table
+// connectivity graph.
+func NumEdges(g, p, q Dims) int64 {
+	return NumComponents(g, p, q) * EdgesPerComponent(p, q)
+}
+
+// EdgeRatio returns the paper's edge ratio n_e·c_R·c_S / T², used to keep
+// Fig. 4's sweep at a constant edge ratio.
+func EdgeRatio(g, p, q Dims) float64 {
+	t := float64(g.Cells())
+	return float64(NumEdges(g, p, q)) * float64(p.Cells()) * float64(q.Cells()) / (t * t)
+}
+
+// LeftPerComponent returns a: how many left (p-partitioned) sub-tables fall
+// in one component.
+func LeftPerComponent(p, q Dims) int64 {
+	c := ComponentSize(p, q)
+	return c.Cells() / p.Cells()
+}
+
+// RightPerComponent returns b: how many right (q-partitioned) sub-tables
+// fall in one component.
+func RightPerComponent(p, q Dims) int64 {
+	c := ComponentSize(p, q)
+	return c.Cells() / q.Cells()
+}

@@ -1,0 +1,223 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{Grid: Dims{64, 64, 32}, Part: Dims{16, 8, 32}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Grid: Dims{64, 64, 32}, Part: Dims{10, 8, 32}},
+		{Grid: Dims{0, 64, 32}, Part: Dims{16, 8, 32}},
+		{Grid: Dims{64, 64, 32}, Part: Dims{16, 0, 32}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestBlocksAndCounts(t *testing.T) {
+	s := Spec{Grid: Dims{64, 32, 16}, Part: Dims{16, 8, 16}}
+	b := s.Blocks()
+	if b != (Dims{4, 4, 1}) {
+		t.Errorf("Blocks = %v", b)
+	}
+	if s.NumChunks() != 16 {
+		t.Errorf("NumChunks = %d", s.NumChunks())
+	}
+	if s.TuplesPerChunk() != 16*8*16 {
+		t.Errorf("TuplesPerChunk = %d", s.TuplesPerChunk())
+	}
+}
+
+func TestChunkIndexRoundTrip(t *testing.T) {
+	s := Spec{Grid: Dims{32, 24, 16}, Part: Dims{8, 8, 4}}
+	b := s.Blocks()
+	seen := make(map[int]bool)
+	for z := 0; z < b.Z; z++ {
+		for y := 0; y < b.Y; y++ {
+			for x := 0; x < b.X; x++ {
+				id := s.ChunkIndex(x, y, z)
+				if seen[id] {
+					t.Fatalf("duplicate chunk id %d", id)
+				}
+				seen[id] = true
+				gx, gy, gz := s.ChunkCoords(id)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, id, gx, gy, gz)
+				}
+			}
+		}
+	}
+	if len(seen) != int(s.NumChunks()) {
+		t.Errorf("ids cover %d chunks, want %d", len(seen), s.NumChunks())
+	}
+}
+
+func TestCellRange(t *testing.T) {
+	s := Spec{Grid: Dims{32, 32, 32}, Part: Dims{8, 16, 32}}
+	lo, hi := s.CellRange(1, 1, 0)
+	if lo != (Dims{8, 16, 0}) || hi != (Dims{16, 32, 32}) {
+		t.Errorf("CellRange = %v..%v", lo, hi)
+	}
+}
+
+func TestBlockCyclicNode(t *testing.T) {
+	counts := make([]int, 5)
+	for id := 0; id < 100; id++ {
+		counts[BlockCyclicNode(id, 5)]++
+	}
+	for n, c := range counts {
+		if c != 20 {
+			t.Errorf("node %d got %d chunks, want 20", n, c)
+		}
+	}
+	if BlockCyclicNode(7, 0) != 0 {
+		t.Error("zero nodes should map to 0")
+	}
+}
+
+func TestPaperFormulaExample(t *testing.T) {
+	// Figure 3's example graph has components with a=2 left and b=4 right
+	// sub-tables: realize it with p=(4,4,1) (left blocks) and q=(8,1,1)
+	// (right slabs) on an 8x8x1 grid. Each component is an 8x4 band holding
+	// 2 left blocks and 4 right slabs, every pair overlapping: E_C=8.
+	g := Dims{8, 8, 1}
+	p := Dims{4, 4, 1}
+	q := Dims{8, 1, 1}
+	c := ComponentSize(p, q)
+	if c != (Dims{8, 4, 1}) {
+		t.Errorf("C = %v", c)
+	}
+	if n := NumComponents(g, p, q); n != 2 {
+		t.Errorf("N_C = %d, want 2", n)
+	}
+	if e := EdgesPerComponent(p, q); e != 8 {
+		t.Errorf("E_C = %d, want 8", e)
+	}
+	if a := LeftPerComponent(p, q); a != 2 {
+		t.Errorf("a = %d, want 2", a)
+	}
+	if b := RightPerComponent(p, q); b != 4 {
+		t.Errorf("b = %d, want 4", b)
+	}
+	if ne := NumEdges(g, p, q); ne != 16 {
+		t.Errorf("n_e = %d, want 16", ne)
+	}
+}
+
+func TestEqualPartitionsDegenerate(t *testing.T) {
+	// p == q: each component is one pair, n_e = number of chunks.
+	g := Dims{16, 16, 16}
+	p := Dims{4, 4, 4}
+	if NumEdges(g, p, p) != 64 {
+		t.Errorf("n_e = %d, want 64", NumEdges(g, p, p))
+	}
+	if EdgesPerComponent(p, p) != 1 {
+		t.Error("E_C should be 1 for identical partitions")
+	}
+	if NumComponents(g, p, p) != 64 {
+		t.Error("N_C wrong for identical partitions")
+	}
+}
+
+func TestEdgeRatio(t *testing.T) {
+	// For nested partitions (q divides p per-dim), every q-block overlaps
+	// exactly one p-block, so n_e = #q-chunks and the edge ratio is
+	// n_e·c_R·c_S/T² = (T/c_S)·c_R·c_S/T² = c_R/T.
+	g := Dims{32, 32, 32}
+	p := Dims{8, 8, 8}
+	q := Dims{4, 4, 8}
+	want := float64(p.Cells()) / float64(g.Cells())
+	if got := EdgeRatio(g, p, q); got != want {
+		t.Errorf("EdgeRatio = %g, want %g", got, want)
+	}
+}
+
+// powerOfTwoDims draws partition sizes as powers of two dividing the grid,
+// mirroring the paper's "varying the partition sizes in powers of 2".
+func powerOfTwoDims(r *rand.Rand, g Dims) Dims {
+	pick := func(limit int) int {
+		v := 1
+		for v*2 <= limit && r.Intn(2) == 0 {
+			v *= 2
+		}
+		return v
+	}
+	return Dims{X: pick(g.X), Y: pick(g.Y), Z: pick(g.Z)}
+}
+
+// bruteForceEdges counts overlapping block pairs directly.
+func bruteForceEdges(g, p, q Dims) int64 {
+	sp := Spec{Grid: g, Part: p}
+	sq := Spec{Grid: g, Part: q}
+	bp, bq := sp.Blocks(), sq.Blocks()
+	var edges int64
+	for z1 := 0; z1 < bp.Z; z1++ {
+		for y1 := 0; y1 < bp.Y; y1++ {
+			for x1 := 0; x1 < bp.X; x1++ {
+				lo1, hi1 := sp.CellRange(x1, y1, z1)
+				for z2 := 0; z2 < bq.Z; z2++ {
+					for y2 := 0; y2 < bq.Y; y2++ {
+						for x2 := 0; x2 < bq.X; x2++ {
+							lo2, hi2 := sq.CellRange(x2, y2, z2)
+							if lo1.X < hi2.X && lo2.X < hi1.X &&
+								lo1.Y < hi2.Y && lo2.Y < hi1.Y &&
+								lo1.Z < hi2.Z && lo2.Z < hi1.Z {
+								edges++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func TestPropEdgeFormulaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Dims{X: 8 << r.Intn(2), Y: 8 << r.Intn(2), Z: 4 << r.Intn(2)}
+		p := powerOfTwoDims(r, g)
+		q := powerOfTwoDims(r, g)
+		want := bruteForceEdges(g, p, q)
+		got := NumEdges(g, p, q)
+		if got != want {
+			t.Logf("g=%v p=%v q=%v: formula %d, brute force %d", g, p, q, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComponentAccounting(t *testing.T) {
+	// a·N_C = number of left chunks, b·N_C = number of right chunks,
+	// and for power-of-two partitions E_C = a·b per component is an upper
+	// bound attained when partitions are nested in no dimension both ways.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Dims{16, 16, 8}
+		p := powerOfTwoDims(r, g)
+		q := powerOfTwoDims(r, g)
+		nc := NumComponents(g, p, q)
+		a := LeftPerComponent(p, q)
+		b := RightPerComponent(p, q)
+		sp := Spec{Grid: g, Part: p}
+		sq := Spec{Grid: g, Part: q}
+		return a*nc == sp.NumChunks() && b*nc == sq.NumChunks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

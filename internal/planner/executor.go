@@ -1,0 +1,329 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"sciview/internal/cluster"
+	"sciview/internal/dds"
+	"sciview/internal/engine"
+	"sciview/internal/query"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Executor runs SQL statements against a cluster, maintaining the set of
+// defined views. It is the front door the examples and command-line tools
+// use.
+type Executor struct {
+	Cluster *cluster.Cluster
+	Planner *Planner
+	// Trace, when non-nil, records execution events of every join the
+	// executor runs.
+	Trace *trace.Recorder
+	views map[string]*dds.JoinView
+}
+
+// NewExecutor returns an executor over the given cluster.
+func NewExecutor(cl *cluster.Cluster) *Executor {
+	return &Executor{Cluster: cl, Planner: New(), views: make(map[string]*dds.JoinView)}
+}
+
+// Output is the result of executing one statement.
+type Output struct {
+	// ViewCreated is set for CREATE VIEW statements.
+	ViewCreated string
+	// Rows holds the result rows for SELECT statements.
+	Rows *tuple.SubTable
+	// Result and Decision are set when a join executed.
+	Result   *engine.Result
+	Decision *Decision
+}
+
+// View returns a defined view by name.
+func (ex *Executor) View(name string) (*dds.JoinView, bool) {
+	v, ok := ex.views[name]
+	return v, ok
+}
+
+// DefineView registers a view definition directly (bypassing SQL).
+func (ex *Executor) DefineView(v *dds.JoinView) error {
+	if _, ok := ex.views[v.Name]; ok {
+		return fmt.Errorf("planner: view %q already exists", v.Name)
+	}
+	ex.views[v.Name] = v
+	return nil
+}
+
+// Exec parses and executes one statement.
+func (ex *Executor) Exec(sql string) (*Output, error) {
+	st, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *query.CreateView:
+		var v *dds.JoinView
+		if s.Derived() {
+			// A restriction view layered on an existing view: same join,
+			// predicates conjoined — a DDS built on another DDS.
+			base, ok := ex.views[s.Left]
+			if !ok {
+				return nil, fmt.Errorf("planner: view %q derives from unknown view %q", s.Name, s.Left)
+			}
+			merged, err := dds.MergePreds(base.Where, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			v = &dds.JoinView{
+				Name: s.Name, Left: base.Left, Right: base.Right,
+				JoinAttrs: base.JoinAttrs, Where: merged,
+			}
+		} else {
+			var err error
+			v, err = dds.FromCreate(ex.Cluster.Catalog, s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := ex.DefineView(v); err != nil {
+			return nil, err
+		}
+		return &Output{ViewCreated: v.Name}, nil
+	case *query.Select:
+		return ex.execSelect(s)
+	default:
+		return nil, fmt.Errorf("planner: unsupported statement %T", st)
+	}
+}
+
+// classifyItems splits the select list and validates SQL grouping rules.
+func classifyItems(s *query.Select) (star bool, plain []string, aggs []query.SelectItem, err error) {
+	inGroupBy := func(attr string) bool {
+		for _, g := range s.GroupBy {
+			if g == attr {
+				return true
+			}
+		}
+		return false
+	}
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			star = true
+		case it.Agg != query.AggNone:
+			aggs = append(aggs, it)
+		default:
+			plain = append(plain, it.Attr)
+		}
+	}
+	if star && (len(plain) > 0 || len(aggs) > 0) {
+		return false, nil, nil, fmt.Errorf("planner: * cannot be combined with other select items")
+	}
+	if len(aggs) > 0 {
+		for _, a := range plain {
+			if !inGroupBy(a) {
+				return false, nil, nil, fmt.Errorf("planner: non-aggregated column %q must appear in GROUP BY", a)
+			}
+		}
+		if star {
+			return false, nil, nil, fmt.Errorf("planner: * cannot be aggregated; use COUNT(*)")
+		}
+	} else if len(s.GroupBy) > 0 {
+		return false, nil, nil, fmt.Errorf("planner: GROUP BY requires aggregate select items")
+	} else if s.Having != nil {
+		return false, nil, nil, fmt.Errorf("planner: HAVING requires aggregation")
+	}
+	return star, plain, aggs, nil
+}
+
+func (ex *Executor) execSelect(s *query.Select) (*Output, error) {
+	star, plain, aggs, err := classifyItems(s)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{}
+	needed := neededAttrs(star, plain, aggs, s)
+
+	// Obtain the base rows: from a view (join) or a table (scan).
+	var rows []*tuple.SubTable
+	if v, ok := ex.views[s.From]; ok {
+		req, err := v.Request(s.Where, true)
+		if err != nil {
+			return nil, err
+		}
+		req.Project = ex.pushdownFor(v, needed)
+		req.Trace = ex.Trace
+		res, dec, err := ex.Planner.Run(ex.Cluster, req)
+		if err != nil {
+			return nil, err
+		}
+		out.Result, out.Decision = res, dec
+		rows = res.Collected
+	} else {
+		st, err := dds.ScanTable(ex.Cluster, s.From, s.Where, needed)
+		if err != nil {
+			return nil, err
+		}
+		rows = []*tuple.SubTable{st}
+	}
+
+	// Post-process per the select list. Aggregation folds each joiner's
+	// output into a partial concurrently and merges (the distributed
+	// aggregation DDS), so raw join output is never concatenated.
+	if len(aggs) > 0 {
+		agg, err := dds.AggregateDistributed(rows, aggs, s.GroupBy, s.Having)
+		if err != nil {
+			return nil, err
+		}
+		// Plain columns already validated ⊆ GROUP BY; Aggregate emits the
+		// group-by attrs first, so project the requested layout.
+		out.Rows, err = orderAndLimit(agg, s.OrderBy, s.Limit)
+		return out, err
+	}
+
+	flat, err := concat(rows)
+	if err != nil {
+		return nil, err
+	}
+	if !star {
+		flat, err = flat.Project(plain)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.Rows, err = orderAndLimit(flat, s.OrderBy, s.Limit)
+	return out, err
+}
+
+// neededAttrs lists the attributes a query's outputs depend on, or nil for
+// SELECT * (fetch everything). Range predicates are excluded: the BDS
+// applies them before the projection.
+func neededAttrs(star bool, plain []string, aggs []query.SelectItem, s *query.Select) []string {
+	if star {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		if name == "" || name == "*" || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, p := range plain {
+		add(p)
+	}
+	for _, a := range aggs {
+		add(a.Attr)
+	}
+	for _, g := range s.GroupBy {
+		add(g)
+	}
+	if s.Having != nil {
+		add(s.Having.Attr)
+	}
+	if len(aggs) == 0 {
+		// Non-aggregate ORDER BY references output columns directly.
+		for _, k := range s.OrderBy {
+			add(k.Attr)
+		}
+	}
+	return out
+}
+
+// pushdownFor decides whether a needed-attribute set can be pushed down to
+// the view's base tables: every name must be a plain attribute of one of
+// them (names such as the join result's "r_"-prefixed columns disable the
+// pushdown — correctness first).
+func (ex *Executor) pushdownFor(v *dds.JoinView, needed []string) []string {
+	if needed == nil {
+		return nil
+	}
+	leftDef, err := ex.Cluster.Catalog.Table(v.Left)
+	if err != nil {
+		return nil
+	}
+	rightDef, err := ex.Cluster.Catalog.Table(v.Right)
+	if err != nil {
+		return nil
+	}
+	for _, n := range needed {
+		if leftDef.Schema.Index(n) < 0 && rightDef.Schema.Index(n) < 0 {
+			return nil
+		}
+	}
+	return needed
+}
+
+// orderAndLimit applies ORDER BY keys (which must name output columns) and
+// a LIMIT to the result.
+func orderAndLimit(st *tuple.SubTable, keys []query.OrderKey, limit int) (*tuple.SubTable, error) {
+	if len(keys) == 0 && (limit < 0 || limit >= st.NumRows()) {
+		return st, nil
+	}
+	idxs := make([]int, len(keys))
+	for i, k := range keys {
+		idx := st.Schema.Index(k.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("planner: ORDER BY references %q, not an output column of %v",
+				k.Attr, st.Schema.Names())
+		}
+		idxs[i] = idx
+	}
+	order := make([]int, st.NumRows())
+	for i := range order {
+		order[i] = i
+	}
+	if len(keys) > 0 {
+		sort.SliceStable(order, func(a, b int) bool {
+			ra, rb := order[a], order[b]
+			for i, idx := range idxs {
+				va, vb := st.Value(ra, idx), st.Value(rb, idx)
+				if va == vb {
+					continue
+				}
+				if keys[i].Desc {
+					return va > vb
+				}
+				return va < vb
+			}
+			return false
+		})
+	}
+	n := len(order)
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	out := tuple.NewSubTable(st.ID, st.Schema, n)
+	row := make([]float32, st.Schema.NumAttrs())
+	for i := 0; i < n; i++ {
+		out.AppendRow(st.Row(order[i], row)...)
+	}
+	return out, nil
+}
+
+// concat merges per-joiner outputs into one sub-table.
+func concat(parts []*tuple.SubTable) (*tuple.SubTable, error) {
+	var first *tuple.SubTable
+	for _, p := range parts {
+		if p != nil {
+			first = p
+			break
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("planner: no result rows")
+	}
+	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: -1}, first.Schema, 0)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if err := out.AppendAll(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

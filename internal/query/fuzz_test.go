@@ -1,0 +1,63 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the SQL front end with arbitrary input: it must never
+// panic, and accepted statements must satisfy basic structural invariants.
+// Run with `go test -fuzz=FuzzParse ./internal/query` to explore; the seed
+// corpus runs as a regression test on every `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT * FROM V1",
+		"SELECT * FROM V1 WHERE x BETWEEN 0 AND 256 AND y <= 512",
+		"CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y)",
+		"CREATE VIEW V2 AS SELECT * FROM V1 WHERE wp > 0.5",
+		"SELECT AVG(wp), COUNT(*) FROM V1 GROUP BY z HAVING AVG(wp) > 0.5",
+		"SELECT a, b FROM t ORDER BY a DESC, b LIMIT 100",
+		"select sum(x) from t where 1e-9 <= x and x < 2.5E2",
+		"SELECT * FROM T WHERE x = 7 ORDER",
+		"SELECT (((",
+		"CREATE VIEW V AS SELECT * FROM",
+		"\x00\xff SELECT",
+		strings.Repeat("SELECT ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		switch s := st.(type) {
+		case *Select:
+			if s.From == "" {
+				t.Errorf("accepted SELECT without FROM: %q", src)
+			}
+			if len(s.Items) == 0 {
+				t.Errorf("accepted SELECT without items: %q", src)
+			}
+			for _, p := range s.Where {
+				if p.Lo > p.Hi {
+					t.Errorf("accepted empty interval %+v: %q", p, src)
+				}
+			}
+			if s.Limit < -1 {
+				t.Errorf("invalid limit %d: %q", s.Limit, src)
+			}
+		case *CreateView:
+			if s.Name == "" || s.Left == "" {
+				t.Errorf("accepted malformed view: %+v from %q", s, src)
+			}
+			if !s.Derived() && len(s.JoinAttrs) == 0 {
+				t.Errorf("join view without attrs: %q", src)
+			}
+		default:
+			t.Errorf("unknown statement type %T", st)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Package query implements the small SQL dialect of the view framework:
+//
+//	CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y)
+//	SELECT * FROM V1 WHERE x BETWEEN 0 AND 256 AND y <= 512
+//	SELECT AVG(wp), MAX(oilp) FROM V1 GROUP BY z
+//
+// It covers the paper's query classes: range queries against BDS tables,
+// full and range-restricted scans of join views, and aggregation queries
+// ("Find all reservoirs with average wp > 0.5") via aggregates with
+// GROUP BY and HAVING.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , * = < > <= >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // upper-cased for idents/keywords? keep raw; compare case-insensitively
+	num  float64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. Identifiers keep their case (table and
+// attribute names are case-sensitive); keywords are matched
+// case-insensitively by the parser.
+func lex(src string) ([]token, error) {
+	l := lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d >= '0' && d <= '9' || d == '.' || d == 'e' || d == 'E' {
+					l.pos++
+					continue
+				}
+				// Sign is part of the number only right after an exponent.
+				if (d == '-' || d == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+					l.pos++
+					continue
+				}
+				break
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q at %d", text, start)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		case c == '<' || c == '>':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.ContainsRune("(),*=[]", rune(c)):
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,280 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	s, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *Select", src, st)
+	}
+	return s
+}
+
+func TestParseCreateView(t *testing.T) {
+	st, err := Parse("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if cv.Name != "V1" || cv.Left != "T1" || cv.Right != "T2" {
+		t.Errorf("view = %+v", cv)
+	}
+	if len(cv.JoinAttrs) != 2 || cv.JoinAttrs[0] != "x" || cv.JoinAttrs[1] != "y" {
+		t.Errorf("join attrs = %v", cv.JoinAttrs)
+	}
+	if cv.Where != nil {
+		t.Error("unexpected where")
+	}
+}
+
+func TestParseCreateViewWithWhere(t *testing.T) {
+	st, err := Parse("create view V as select * from T1 join T2 on (x) where x between 0 and 256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if len(cv.Where) != 1 || cv.Where[0].Attr != "x" || cv.Where[0].Lo != 0 || cv.Where[0].Hi != 256 {
+		t.Errorf("where = %+v", cv.Where)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM V1")
+	if len(s.Items) != 1 || !s.Items[0].Star || s.From != "V1" {
+		t.Errorf("select = %+v", s)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	s := parseSelect(t, "SELECT wp, soil FROM V1 WHERE x BETWEEN 0 AND 256 AND y BETWEEN 0 AND 512")
+	if len(s.Items) != 2 || s.Items[0].Attr != "wp" || s.Items[1].Attr != "soil" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if len(s.Where) != 2 {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	if s.Where[1].Attr != "y" || s.Where[1].Hi != 512 {
+		t.Errorf("where[1] = %+v", s.Where[1])
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM T WHERE x >= 1 AND x <= 5")
+	if len(s.Where) != 1 {
+		t.Fatalf("constraints on x should merge: %+v", s.Where)
+	}
+	if s.Where[0].Lo != 1 || s.Where[0].Hi != 5 {
+		t.Errorf("merged = %+v", s.Where[0])
+	}
+
+	s = parseSelect(t, "SELECT * FROM T WHERE x = 7")
+	if s.Where[0].Lo != 7 || s.Where[0].Hi != 7 {
+		t.Errorf("equality = %+v", s.Where[0])
+	}
+
+	s = parseSelect(t, "SELECT * FROM T WHERE x < 7")
+	if !(s.Where[0].Hi < 7) || math.IsInf(s.Where[0].Hi, -1) {
+		t.Errorf("strict upper = %+v", s.Where[0])
+	}
+
+	// Flipped operand order.
+	s = parseSelect(t, "SELECT * FROM T WHERE 3 <= x")
+	if s.Where[0].Lo != 3 || !math.IsInf(s.Where[0].Hi, 1) {
+		t.Errorf("flipped = %+v", s.Where[0])
+	}
+}
+
+func TestParseContradiction(t *testing.T) {
+	if _, err := Parse("SELECT * FROM T WHERE x > 5 AND x < 2"); err == nil {
+		t.Error("contradictory constraints should fail")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := parseSelect(t, "SELECT AVG(wp), max(oilp), COUNT(*) FROM V1 GROUP BY z")
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	if s.Items[0].Agg != AggAvg || s.Items[0].Attr != "wp" {
+		t.Errorf("item 0 = %+v", s.Items[0])
+	}
+	if s.Items[1].Agg != AggMax {
+		t.Errorf("item 1 = %+v", s.Items[1])
+	}
+	if s.Items[2].Agg != AggCount || s.Items[2].Attr != "*" {
+		t.Errorf("item 2 = %+v", s.Items[2])
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "z" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	s := parseSelect(t, "SELECT AVG(wp) FROM V1 GROUP BY reservoir HAVING AVG(wp) > 0.5")
+	if s.Having == nil || s.Having.Agg != AggAvg || s.Having.Attr != "wp" ||
+		s.Having.Op != ">" || s.Having.Val != 0.5 {
+		t.Errorf("having = %+v", s.Having)
+	}
+}
+
+func TestParseAggNamedColumn(t *testing.T) {
+	// An identifier that merely looks like an aggregate but has no parens
+	// is a plain column.
+	s := parseSelect(t, "SELECT avg FROM T")
+	if s.Items[0].Agg != AggNone || s.Items[0].Attr != "avg" {
+		t.Errorf("item = %+v", s.Items[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM T extra junk",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE x",
+		"SELECT * FROM T WHERE x BETWEEN 1",
+		"SELECT * FROM T WHERE x BETWEEN 1 AND",
+		"CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON x",
+		"CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON ()",
+		"CREATE VIEW V AS SELECT wp FROM T1 JOIN T2 ON (x)",
+		"SELECT SUM(*) FROM T",
+		"SELECT AVG(wp FROM T",
+		"SELECT * FROM T GROUP BY",
+		"SELECT * FROM T HAVING wp > 3",
+		"SELECT * FROM T WHERE x ! 5",
+		"SELECT * FROM T WHERE x BETWEEN 0 AND 1e",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorsCarryContext(t *testing.T) {
+	_, err := Parse("SELECT * FROM T WHERE x ?")
+	if err == nil || !strings.Contains(err.Error(), "query:") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestScientificNumbers(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM T WHERE x BETWEEN 1e-3 AND 2.5E2")
+	if s.Where[0].Lo != 1e-3 || s.Where[0].Hi != 250 {
+		t.Errorf("pred = %+v", s.Where[0])
+	}
+}
+
+func TestToRange(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM T WHERE x BETWEEN 0 AND 9 AND wp <= 0.5")
+	r := ToRange(s.Where)
+	if len(r.Attrs) != 2 || r.Attrs[0] != "x" || r.Hi[1] != 0.5 {
+		t.Errorf("range = %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseOrderByAndLimit(t *testing.T) {
+	s := parseSelect(t, "SELECT * FROM T ORDER BY x, y DESC, z ASC LIMIT 10")
+	if len(s.OrderBy) != 3 {
+		t.Fatalf("order by = %+v", s.OrderBy)
+	}
+	if s.OrderBy[0] != (OrderKey{Attr: "x"}) ||
+		s.OrderBy[1] != (OrderKey{Attr: "y", Desc: true}) ||
+		s.OrderBy[2] != (OrderKey{Attr: "z"}) {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	// Limit defaults to -1.
+	s = parseSelect(t, "SELECT * FROM T")
+	if s.Limit != -1 {
+		t.Errorf("default limit = %d", s.Limit)
+	}
+	// After HAVING.
+	s = parseSelect(t, "SELECT AVG(v) FROM T GROUP BY g HAVING AVG(v) > 1 ORDER BY g LIMIT 2")
+	if len(s.OrderBy) != 1 || s.Limit != 2 {
+		t.Errorf("order/limit after having: %+v %d", s.OrderBy, s.Limit)
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM T ORDER x",
+		"SELECT * FROM T ORDER BY",
+		"SELECT * FROM T LIMIT",
+		"SELECT * FROM T LIMIT -3",
+		"SELECT * FROM T LIMIT 1.5",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDerivedView(t *testing.T) {
+	st, err := Parse("CREATE VIEW V2 AS SELECT * FROM V1 WHERE x BETWEEN 0 AND 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if !cv.Derived() || cv.Left != "V1" || cv.Right != "" || len(cv.JoinAttrs) != 0 {
+		t.Errorf("derived view = %+v", cv)
+	}
+	if len(cv.Where) != 1 {
+		t.Errorf("where = %+v", cv.Where)
+	}
+	// Join views are not Derived.
+	st, _ = Parse("CREATE VIEW V AS SELECT * FROM A JOIN B ON (x)")
+	if st.(*CreateView).Derived() {
+		t.Error("join view reported as derived")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT x, AVG(wp), COUNT(*) FROM V1 WHERE x BETWEEN 0 AND 256 AND y <= 512 AND wp >= 0.25 GROUP BY x HAVING AVG(wp) > 0.5 ORDER BY avg_wp DESC LIMIT 100"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParseInIntervalNotation(t *testing.T) {
+	// The paper's range syntax: SELECT * FROM T1 WHERE x IN [0, 256].
+	s := parseSelect(t, "SELECT * FROM T1 WHERE x IN [0, 256] AND y IN [0, 512]")
+	if len(s.Where) != 2 {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	if s.Where[0] != (Pred{Attr: "x", Lo: 0, Hi: 256}) {
+		t.Errorf("pred 0 = %+v", s.Where[0])
+	}
+	if s.Where[1] != (Pred{Attr: "y", Lo: 0, Hi: 512}) {
+		t.Errorf("pred 1 = %+v", s.Where[1])
+	}
+	for _, bad := range []string{
+		"SELECT * FROM T WHERE x IN [0 256]",
+		"SELECT * FROM T WHERE x IN [0,",
+		"SELECT * FROM T WHERE x IN 0, 256]",
+		"SELECT * FROM T WHERE x IN [5, 1]",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

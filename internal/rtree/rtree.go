@@ -1,0 +1,347 @@
+// Package rtree implements Guttman's R-tree with quadratic split, the index
+// structure the paper's MetaData Service uses to resolve range predicates to
+// chunk ids ("This may be done efficiently using index structures such as
+// R-Trees [6]").
+//
+// The tree stores opaque int64 item ids keyed by bounding box. It is not
+// safe for concurrent mutation; the MetaData Service serializes writes and
+// the tree is read-mostly after dataset registration.
+package rtree
+
+import (
+	"fmt"
+
+	"sciview/internal/bbox"
+)
+
+// DefaultMaxEntries is Guttman's M parameter; m = M/2 is the minimum fill.
+const DefaultMaxEntries = 8
+
+// Tree is an R-tree over items identified by int64 ids.
+type Tree struct {
+	dims int
+	max  int // M: max entries per node
+	min  int // m: min entries per node after split
+	root *node
+	size int
+
+	// path is the root-to-parent stack recorded by chooseLeaf, reused
+	// across inserts to avoid allocation.
+	path []*node
+
+	// relaxedMin marks bulk-loaded trees, whose tail nodes may legally
+	// hold fewer than m entries (STR packs runs, it does not split).
+	relaxedMin bool
+}
+
+type entry struct {
+	box   bbox.Box
+	child *node // nil at leaves
+	id    int64 // valid at leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// New returns an empty R-tree for boxes of the given dimensionality and
+// node capacity maxEntries (>= 4; DefaultMaxEntries if 0).
+func New(dims, maxEntries int) *Tree {
+	if maxEntries == 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		panic(fmt.Sprintf("rtree: maxEntries %d < 4", maxEntries))
+	}
+	return &Tree{
+		dims: dims,
+		max:  maxEntries,
+		min:  maxEntries / 2,
+		root: &node{leaf: true},
+	}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Dims returns the dimensionality of indexed boxes.
+func (t *Tree) Dims() int { return t.dims }
+
+// Insert adds an item with the given bounding box.
+func (t *Tree) Insert(box bbox.Box, id int64) {
+	if box.Dims() != t.dims {
+		panic(fmt.Sprintf("rtree: inserting %d-dim box into %d-dim tree", box.Dims(), t.dims))
+	}
+	e := entry{box: box.Clone(), id: id}
+	leaf := t.chooseLeaf(t.root, e)
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	t.splitUpward(leaf)
+}
+
+// chooseLeaf descends from n to the leaf needing least enlargement to hold
+// e (ties broken by smaller volume), recording the path for split
+// propagation via parent pointers computed on the fly.
+func (t *Tree) chooseLeaf(n *node, e entry) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		t.path = append(t.path, n)
+		best := 0
+		bestEnl := n.entries[0].box.Enlargement(e.box)
+		bestVol := n.entries[0].box.Volume()
+		for i := 1; i < len(n.entries); i++ {
+			enl := n.entries[i].box.Enlargement(e.box)
+			vol := n.entries[i].box.Volume()
+			if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+				best, bestEnl, bestVol = i, enl, vol
+			}
+		}
+		n.entries[best].box = n.entries[best].box.Union(e.box)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitUpward splits n if overfull and propagates splits toward the root.
+func (t *Tree) splitUpward(n *node) {
+	for {
+		if len(n.entries) <= t.max {
+			// Parent boxes were already enlarged during descent.
+			return
+		}
+		left, right := t.quadraticSplit(n)
+		if n == t.root {
+			t.root = &node{
+				leaf: false,
+				entries: []entry{
+					{box: nodeBox(left, t.dims), child: left},
+					{box: nodeBox(right, t.dims), child: right},
+				},
+			}
+			return
+		}
+		parent := t.path[len(t.path)-1]
+		t.path = t.path[:len(t.path)-1]
+		// Replace n's entry in parent with left, append right.
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i] = entry{box: nodeBox(left, t.dims), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{box: nodeBox(right, t.dims), child: right})
+		n = parent
+	}
+}
+
+// quadraticSplit partitions n's entries into two nodes using Guttman's
+// quadratic PickSeeds/PickNext heuristics.
+func (t *Tree) quadraticSplit(n *node) (*node, *node) {
+	ents := n.entries
+	// PickSeeds: the pair wasting the most volume if grouped together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			u := ents[i].box.Union(ents[j].box)
+			waste := u.Volume() - ents[i].box.Volume() - ents[j].box.Volume()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	left := &node{leaf: n.leaf, entries: []entry{ents[s1]}}
+	right := &node{leaf: n.leaf, entries: []entry{ents[s2]}}
+	lbox := ents[s1].box.Clone()
+	rbox := ents[s2].box.Clone()
+	rest := make([]entry, 0, len(ents)-2)
+	for i, e := range ents {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach min fill,
+		// assign them wholesale.
+		if len(left.entries)+len(rest) == t.min {
+			for _, e := range rest {
+				left.entries = append(left.entries, e)
+				lbox = lbox.Union(e.box)
+			}
+			break
+		}
+		if len(right.entries)+len(rest) == t.min {
+			for _, e := range rest {
+				right.entries = append(right.entries, e)
+				rbox = rbox.Union(e.box)
+			}
+			break
+		}
+		// PickNext: entry with maximum preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		var bestToLeft bool
+		for i, e := range rest {
+			dl := lbox.Enlargement(e.box)
+			dr := rbox.Enlargement(e.box)
+			diff := dl - dr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				bestToLeft = dl < dr || (dl == dr && lbox.Volume() < rbox.Volume()) ||
+					(dl == dr && lbox.Volume() == rbox.Volume() && len(left.entries) <= len(right.entries))
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		if bestToLeft {
+			left.entries = append(left.entries, e)
+			lbox = lbox.Union(e.box)
+		} else {
+			right.entries = append(right.entries, e)
+			rbox = rbox.Union(e.box)
+		}
+	}
+	return left, right
+}
+
+func nodeBox(n *node, dims int) bbox.Box {
+	b := bbox.Empty(dims)
+	for _, e := range n.entries {
+		b = b.Union(e.box)
+	}
+	return b
+}
+
+// Search appends to dst the ids of all items whose boxes overlap query, and
+// returns the extended slice. Order is unspecified.
+func (t *Tree) Search(query bbox.Box, dst []int64) []int64 {
+	return searchNode(t.root, query, dst)
+}
+
+func searchNode(n *node, q bbox.Box, dst []int64) []int64 {
+	for _, e := range n.entries {
+		if !e.box.Overlaps(q) {
+			continue
+		}
+		if n.leaf {
+			dst = append(dst, e.id)
+		} else {
+			dst = searchNode(e.child, q, dst)
+		}
+	}
+	return dst
+}
+
+// Visit calls fn for every item whose box overlaps query; returning false
+// stops the traversal early.
+func (t *Tree) Visit(query bbox.Box, fn func(box bbox.Box, id int64) bool) {
+	visitNode(t.root, query, fn)
+}
+
+func visitNode(n *node, q bbox.Box, fn func(bbox.Box, int64) bool) bool {
+	for _, e := range n.entries {
+		if !e.box.Overlaps(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.box, e.id) {
+				return false
+			}
+		} else if !visitNode(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes one item with the given id whose stored box equals box.
+// It reports whether an item was removed. Underfull nodes are handled by
+// reinserting orphaned entries (Guttman's CondenseTree).
+func (t *Tree) Delete(box bbox.Box, id int64) bool {
+	leaf, idx := findEntry(t.root, box, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense()
+	return true
+}
+
+func findEntry(n *node, box bbox.Box, id int64) (*node, int) {
+	for i, e := range n.entries {
+		if n.leaf {
+			if e.id == id && e.box.Equal(box) {
+				return n, i
+			}
+		} else if e.box.Overlaps(box) {
+			if ln, li := findEntry(e.child, box, id); ln != nil {
+				return ln, li
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense rebuilds the tree if any node is underfull and tightens boxes.
+// A full CondenseTree with targeted reinsertion is more efficient; the
+// rebuild keeps the implementation small while preserving all invariants,
+// and deletes are rare in this system (datasets are append-mostly).
+func (t *Tree) condense() {
+	var items []entry
+	collectLeaves(t.root, &items)
+	t.root = &node{leaf: true}
+	t.size = 0
+	for _, e := range items {
+		t.Insert(e.box, e.id)
+	}
+}
+
+func collectLeaves(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectLeaves(e.child, out)
+	}
+}
+
+// CheckInvariants validates structural invariants (used by tests):
+// every internal entry's box equals the union of its child's boxes; node
+// occupancy within [min, max] except the root; uniform leaf depth.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var walk func(n *node, d int, isRoot bool) error
+	walk = func(n *node, d int, isRoot bool) error {
+		if !isRoot && !t.relaxedMin && (len(n.entries) < t.min || len(n.entries) > t.max) {
+			return fmt.Errorf("rtree: node occupancy %d outside [%d,%d]", len(n.entries), t.min, t.max)
+		}
+		if len(n.entries) > t.max {
+			return fmt.Errorf("rtree: node overfull: %d > %d", len(n.entries), t.max)
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("rtree: ragged leaf depth: %d vs %d", d, depth)
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			cb := nodeBox(e.child, t.dims)
+			if !e.box.Contains(cb) {
+				return fmt.Errorf("rtree: entry box %v does not cover child box %v", e.box, cb)
+			}
+			if err := walk(e.child, d+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

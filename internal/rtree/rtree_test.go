@@ -1,0 +1,340 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sciview/internal/bbox"
+)
+
+func box2(x0, y0, x1, y1 float64) bbox.Box {
+	return bbox.New([]float64{x0, y0}, []float64{x1, y1})
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2, 0)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(box2(0, 0, 100, 100), nil); len(got) != 0 {
+		t.Errorf("search of empty tree returned %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3)
+}
+
+func TestInsertAndSearchGrid(t *testing.T) {
+	tr := New(2, 4)
+	// 10x10 grid of unit boxes, id = 10*i+j.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			tr.Insert(box2(float64(i), float64(j), float64(i)+1, float64(j)+1), int64(10*i+j))
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Query strictly inside cell (3,4).
+	got := tr.Search(box2(3.2, 4.2, 3.8, 4.8), nil)
+	if len(got) != 1 || got[0] != 34 {
+		t.Errorf("point query = %v, want [34]", got)
+	}
+	// Query covering a 2x2 block of cells (plus boundary-touching neighbors).
+	got = tr.Search(box2(0.5, 0.5, 1.5, 1.5), nil)
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	want := []int64{0, 1, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("block query = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block query = %v, want %v", got, want)
+		}
+	}
+	// Query covering everything.
+	if got := tr.Search(box2(-1, -1, 20, 20), nil); len(got) != 100 {
+		t.Errorf("full query returned %d items", len(got))
+	}
+	// Disjoint query.
+	if got := tr.Search(box2(50, 50, 60, 60), nil); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	tr := New(2, 4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(box2(float64(i), 0, float64(i)+1, 1), int64(i))
+	}
+	count := 0
+	tr.Visit(box2(-1, -1, 100, 100), func(_ bbox.Box, _ int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visit count = %d, want 5", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(2, 4)
+	for i := 0; i < 30; i++ {
+		tr.Insert(box2(float64(i), 0, float64(i)+1, 1), int64(i))
+	}
+	if !tr.Delete(box2(5, 0, 6, 1), 5) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 29 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	if got := tr.Search(box2(5.4, 0.4, 5.6, 0.6), nil); len(got) != 0 {
+		t.Errorf("deleted item still found: %v", got)
+	}
+	if tr.Delete(box2(5, 0, 6, 1), 5) {
+		t.Error("second delete should fail")
+	}
+	if tr.Delete(box2(6, 0, 7, 1), 999) {
+		t.Error("delete of unknown id should fail")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertWrongDimsPanics(t *testing.T) {
+	tr := New(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Insert(bbox.New([]float64{0}, []float64{1}), 1)
+}
+
+// bruteForce is the reference implementation for property tests.
+type bruteForce struct {
+	boxes []bbox.Box
+	ids   []int64
+}
+
+func (b *bruteForce) search(q bbox.Box) []int64 {
+	var out []int64
+	for i, bx := range b.boxes {
+		if bx.Overlaps(q) {
+			out = append(out, b.ids[i])
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []int64) []int64 {
+	c := append([]int64(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func eqIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randBox(r *rand.Rand, scale float64) bbox.Box {
+	lo := []float64{r.Float64() * scale, r.Float64() * scale, r.Float64() * scale}
+	hi := []float64{lo[0] + r.Float64()*scale/4, lo[1] + r.Float64()*scale/4, lo[2] + r.Float64()*scale/4}
+	return bbox.New(lo, hi)
+}
+
+func TestPropSearchMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(3, 4+r.Intn(6))
+		bf := &bruteForce{}
+		n := 20 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			b := randBox(r, 100)
+			tr.Insert(b, int64(i))
+			bf.boxes = append(bf.boxes, b)
+			bf.ids = append(bf.ids, int64(i))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for q := 0; q < 10; q++ {
+			query := randBox(r, 120)
+			got := sortedCopy(tr.Search(query, nil))
+			want := sortedCopy(bf.search(query))
+			if !eqIDs(got, want) {
+				t.Logf("query %v: got %v want %v", query, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInsertDeleteConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(3, 6)
+		bf := &bruteForce{}
+		n := 50 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			b := randBox(r, 50)
+			tr.Insert(b, int64(i))
+			bf.boxes = append(bf.boxes, b)
+			bf.ids = append(bf.ids, int64(i))
+		}
+		// Delete a random half.
+		for i := n - 1; i >= 0; i-- {
+			if r.Intn(2) == 0 {
+				if !tr.Delete(bf.boxes[i], bf.ids[i]) {
+					t.Logf("delete of id %d failed", bf.ids[i])
+					return false
+				}
+				bf.boxes = append(bf.boxes[:i], bf.boxes[i+1:]...)
+				bf.ids = append(bf.ids[:i], bf.ids[i+1:]...)
+			}
+		}
+		if tr.Len() != len(bf.ids) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		query := bbox.Universe(3)
+		return eqIDs(sortedCopy(tr.Search(query, nil)), sortedCopy(bf.search(query)))
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	boxes := make([]bbox.Box, b.N)
+	for i := range boxes {
+		boxes[i] = randBox(r, 1000)
+	}
+	b.ResetTimer()
+	tr := New(3, 0)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(boxes[i], int64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(3, 0)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randBox(r, 1000), int64(i))
+	}
+	queries := make([]bbox.Box, 64)
+	for i := range queries {
+		queries[i] = randBox(r, 1000)
+	}
+	var dst []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Search(queries[i%len(queries)], dst[:0])
+	}
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var boxes []bbox.Box
+	var ids []int64
+	incr := New(3, 8)
+	for i := 0; i < 500; i++ {
+		b := randBox(r, 200)
+		boxes = append(boxes, b)
+		ids = append(ids, int64(i))
+		incr.Insert(b, int64(i))
+	}
+	bulk := BulkLoad(3, 8, boxes, ids)
+	if bulk.Len() != 500 {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 25; q++ {
+		query := randBox(r, 220)
+		got := sortedCopy(bulk.Search(query, nil))
+		want := sortedCopy(incr.Search(query, nil))
+		if !eqIDs(got, want) {
+			t.Fatalf("query %v: bulk %v, incremental %v", query, got, want)
+		}
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	empty := BulkLoad(2, 4, nil, nil)
+	if empty.Len() != 0 || len(empty.Search(bbox.Universe(2), nil)) != 0 {
+		t.Error("empty bulk load wrong")
+	}
+	one := BulkLoad(2, 4, []bbox.Box{box2(0, 0, 1, 1)}, []int64{7})
+	if got := one.Search(box2(0, 0, 2, 2), nil); len(got) != 1 || got[0] != 7 {
+		t.Errorf("single-item bulk: %v", got)
+	}
+	// Mutable after bulk load.
+	one.Insert(box2(5, 5, 6, 6), 8)
+	if got := one.Search(bbox.Universe(2), nil); len(got) != 2 {
+		t.Errorf("post-bulk insert: %v", got)
+	}
+	if !one.Delete(box2(0, 0, 1, 1), 7) {
+		t.Error("post-bulk delete failed")
+	}
+}
+
+func TestBulkLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched inputs")
+		}
+	}()
+	BulkLoad(2, 4, []bbox.Box{box2(0, 0, 1, 1)}, nil)
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 10000
+	boxes := make([]bbox.Box, n)
+	ids := make([]int64, n)
+	for i := range boxes {
+		boxes[i] = randBox(r, 1000)
+		ids[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(3, 8, boxes, ids)
+	}
+}

@@ -1,0 +1,241 @@
+package simio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the byte-object storage beneath a simulated disk. Objects are
+// named blobs supporting ranged reads (chunks are file segments identified
+// by offset and size) and appends (Grace Hash spill buckets grow by
+// appending partitions).
+type Store interface {
+	// Put creates or replaces an object.
+	Put(name string, data []byte) error
+	// Append extends an object, creating it if absent.
+	Append(name string, data []byte) error
+	// ReadRange reads n bytes at offset off. n < 0 reads to the end.
+	ReadRange(name string, off, n int64) ([]byte, error)
+	// Size returns the object's length in bytes.
+	Size(name string) (int64, error)
+	// Delete removes an object; deleting a missing object is not an error.
+	Delete(name string) error
+	// List returns all object names, sorted.
+	List() ([]string, error)
+}
+
+// MemStore is an in-memory Store, the default substrate for tests and
+// benchmarks (chunk bytes are still real bytes; only the medium is RAM).
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Append implements Store.
+func (m *MemStore) Append(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[name] = append(m.objects[name], data...)
+	return nil
+}
+
+// ReadRange implements Store.
+func (m *MemStore) ReadRange(name string, off, n int64) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	obj, ok := m.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("simio: object %q not found", name)
+	}
+	if off < 0 || off > int64(len(obj)) {
+		return nil, fmt.Errorf("simio: offset %d out of range for %q (%d bytes)", off, name, len(obj))
+	}
+	end := int64(len(obj))
+	if n >= 0 {
+		end = off + n
+		if end > int64(len(obj)) {
+			return nil, fmt.Errorf("simio: range [%d,%d) exceeds %q (%d bytes)", off, end, name, len(obj))
+		}
+	}
+	out := make([]byte, end-off)
+	copy(out, obj[off:end])
+	return out, nil
+}
+
+// Size implements Store.
+func (m *MemStore) Size(name string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	obj, ok := m.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("simio: object %q not found", name)
+	}
+	return int64(len(obj)), nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objects, name)
+	return nil
+}
+
+// List implements Store.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.objects))
+	for n := range m.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FileStore is a Store backed by real files under a directory, used by the
+// command-line tools so generated datasets persist across runs.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simio: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// path maps an object name to a file path, rejecting names that escape the
+// store directory.
+func (f *FileStore) path(name string) (string, error) {
+	if name == "" || strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return "", fmt.Errorf("simio: invalid object name %q", name)
+	}
+	return filepath.Join(f.dir, filepath.FromSlash(name)), nil
+}
+
+// Put implements Store.
+func (f *FileStore) Put(name string, data []byte) error {
+	p, err := f.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Append implements Store.
+func (f *FileStore) Append(name string, data []byte) error {
+	p, err := f.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	file, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := file.Write(data)
+	cerr := file.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// ReadRange implements Store.
+func (f *FileStore) ReadRange(name string, off, n int64) ([]byte, error) {
+	p, err := f.path(name)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	if n < 0 {
+		fi, err := file.Stat()
+		if err != nil {
+			return nil, err
+		}
+		n = fi.Size() - off
+	}
+	buf := make([]byte, n)
+	if _, err := file.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("simio: reading %q [%d,%d): %w", name, off, off+n, err)
+	}
+	return buf, nil
+}
+
+// Size implements Store.
+func (f *FileStore) Size(name string) (int64, error) {
+	p, err := f.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Delete implements Store.
+func (f *FileStore) Delete(name string) error {
+	p, err := f.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store.
+func (f *FileStore) List() ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(f.dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			rel, err := filepath.Rel(f.dir, p)
+			if err != nil {
+				return err
+			}
+			names = append(names, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

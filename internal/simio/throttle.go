@@ -1,0 +1,175 @@
+// Package simio provides the simulated storage and network substrate of the
+// emulated cluster: token-bucket bandwidth throttles, disks with separate
+// read/write bandwidths, NICs, and object stores (in-memory or file-backed).
+//
+// The paper's cost models reduce every I/O resource to a byte rate
+// (readIO_bw, writeIO_bw, Net_bw). simio throttles *real* byte movement to
+// configured rates, so the emulated cluster exhibits the same
+// transfer-bound / CPU-bound / spill-bound regimes as the authors' testbed,
+// at laptop scale. Requests through one throttle serialize, which is also
+// the right model for a shared resource such as the single NFS server of
+// the paper's Figure 9.
+package simio
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Throttle limits throughput to a fixed byte rate. Concurrent requests are
+// serviced in FIFO order, each delayed until the modeled resource would
+// have finished it — i.e. the throttle behaves like a single device with a
+// queue. The zero rate means "unlimited": no delay is ever imposed.
+type Throttle struct {
+	mu          sync.Mutex
+	bytesPerSec float64
+	next        time.Time     // when the device becomes free
+	busy        time.Duration // total modeled busy time
+	taken       int64         // total bytes requested
+
+	// Contention model (for shared servers such as the paper's Figure 9
+	// NFS box): when several distinct clients use the device within
+	// contWindow, each request's service time is multiplied by
+	// 1 + contPenalty·(clients−1), capturing the seek/RPC thrash an
+	// overloaded shared server exhibits. Zero penalty (the default)
+	// preserves ideal work-conserving behaviour.
+	contPenalty float64
+	contWindow  time.Duration
+	clients     map[int]time.Time
+}
+
+// NewThrottle returns a throttle enforcing the given rate in bytes/second.
+// A rate <= 0 disables throttling.
+func NewThrottle(bytesPerSec float64) *Throttle {
+	return &Throttle{bytesPerSec: bytesPerSec}
+}
+
+// Rate returns the configured byte rate (0 = unlimited).
+func (t *Throttle) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesPerSec
+}
+
+// SetContention enables the shared-server contention model: requests pay a
+// service-time multiplier of 1 + penalty·(distinct clients in window − 1).
+func (t *Throttle) SetContention(penalty float64, window time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.contPenalty = penalty
+	t.contWindow = window
+	t.clients = make(map[int]time.Time)
+}
+
+// Reserve books n bytes of service on the device and returns the deadline
+// at which the request completes, without sleeping. Combine Reserve with
+// Wait to model transfers that occupy two devices at once (a network link's
+// two endpoints).
+func (t *Throttle) Reserve(n int64) time.Time {
+	return t.ReserveFrom(0, n)
+}
+
+// ReserveFrom is Reserve attributed to a client id, feeding the contention
+// model (a no-op unless SetContention was called).
+func (t *Throttle) ReserveFrom(client int, n int64) time.Time {
+	if t == nil || t.bytesPerSec <= 0 {
+		return time.Time{}
+	}
+	d := time.Duration(float64(n) / t.bytesPerSec * float64(time.Second))
+	t.mu.Lock()
+	now := time.Now()
+	if t.contPenalty > 0 {
+		for c, seen := range t.clients {
+			if now.Sub(seen) > t.contWindow {
+				delete(t.clients, c)
+			}
+		}
+		t.clients[client] = now
+		mult := 1 + t.contPenalty*float64(len(t.clients)-1)
+		d = time.Duration(float64(d) * mult)
+	}
+	start := t.next
+	if start.Before(now) {
+		start = now
+	}
+	t.next = start.Add(d)
+	t.busy += d
+	t.taken += n
+	deadline := t.next
+	t.mu.Unlock()
+	return deadline
+}
+
+// waitQuantum batches short waits: a caller issuing many small requests
+// blocks only once its modeled backlog exceeds the quantum. The throttle's
+// internal clock (next) is unaffected, so no service time is lost — the
+// block is merely deferred.
+const waitQuantum = 200 * time.Microsecond
+
+// sleepSlack is how much of a wait is delegated to time.Sleep. The OS
+// timer has ~1ms granularity with substantial overshoot, which would
+// accumulate into multiples of the modeled time across the thousands of
+// short I/O waits an experiment performs; the final stretch is therefore
+// finished with a yielding spin, making deadlines accurate to ~µs.
+const sleepSlack = 2 * time.Millisecond
+
+// Wait blocks until the given deadline (no-op for the zero time), ignoring
+// backlogs shorter than waitQuantum.
+func Wait(deadline time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	d := time.Until(deadline)
+	if d < waitQuantum {
+		return
+	}
+	if d > sleepSlack {
+		time.Sleep(d - sleepSlack)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// Take reserves n bytes and blocks until the modeled device has finished
+// servicing them.
+func (t *Throttle) Take(n int64) {
+	Wait(t.Reserve(n))
+}
+
+// BusyTime returns the accumulated modeled service time.
+func (t *Throttle) BusyTime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.busy
+}
+
+// Taken returns the total bytes requested through the throttle.
+func (t *Throttle) Taken() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.taken
+}
+
+// Reset zeroes the accounting and releases any queued backlog.
+func (t *Throttle) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = time.Time{}
+	t.busy = 0
+	t.taken = 0
+	if t.clients != nil {
+		t.clients = make(map[int]time.Time)
+	}
+}

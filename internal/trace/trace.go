@@ -1,0 +1,186 @@
+// Package trace records per-run execution events — sub-table fetches,
+// hash builds and probes, bucket spills and reads — with wall-clock spans
+// and byte counts, and summarizes them per event kind and per node. It is
+// the observability layer behind the query tools' -trace flag: where the
+// byte counters say *how much* moved, the trace says *when* and *where*,
+// exposing serialization, stragglers and phase overlap.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the query engines.
+const (
+	KindFetch      Kind = "fetch"      // BDS → compute sub-table transfer
+	KindBuild      Kind = "build"      // hash-table build
+	KindProbe      Kind = "probe"      // hash-table probe
+	KindShip       Kind = "ship"       // GH record batch storage → joiner
+	KindSpill      Kind = "spill"      // GH bucket write to scratch disk
+	KindBucketRead Kind = "bucketread" // GH bucket read back
+)
+
+// Event is one recorded span.
+type Event struct {
+	Node   string // owning node, e.g. "joiner-2" or "storage-0"
+	Kind   Kind
+	Detail string // free-form: sub-table id, bucket number, ...
+	Start  time.Time
+	Dur    time.Duration
+	Bytes  int64
+	Items  int64 // tuples touched, when meaningful
+}
+
+// Recorder collects events. A nil *Recorder is a valid no-op sink, so
+// engines can record unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being kept.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Add records one event.
+func (r *Recorder) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Span records an event covering [start, now).
+func (r *Recorder) Span(node string, kind Kind, detail string, start time.Time, bytes, items int64) {
+	if r == nil {
+		return
+	}
+	r.Add(Event{
+		Node: node, Kind: kind, Detail: detail,
+		Start: start, Dur: time.Since(start),
+		Bytes: bytes, Items: items,
+	})
+}
+
+// Events returns a copy of the recorded events in start order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// KindSummary aggregates one event kind.
+type KindSummary struct {
+	Kind  Kind
+	Count int
+	Bytes int64
+	Items int64
+	Busy  time.Duration
+}
+
+// NodeSummary aggregates one node's activity.
+type NodeSummary struct {
+	Node  string
+	Count int
+	Busy  time.Duration
+	Bytes int64
+}
+
+// Summary is the rollup of a run's events.
+type Summary struct {
+	Events int
+	Span   time.Duration // first start → last end
+	Kinds  []KindSummary // sorted by kind
+	Nodes  []NodeSummary // sorted by node
+}
+
+// Summarize rolls up events.
+func Summarize(events []Event) Summary {
+	s := Summary{Events: len(events)}
+	if len(events) == 0 {
+		return s
+	}
+	kinds := make(map[Kind]*KindSummary)
+	nodes := make(map[string]*NodeSummary)
+	first := events[0].Start
+	var last time.Time
+	for _, e := range events {
+		if e.Start.Before(first) {
+			first = e.Start
+		}
+		if end := e.Start.Add(e.Dur); end.After(last) {
+			last = end
+		}
+		k := kinds[e.Kind]
+		if k == nil {
+			k = &KindSummary{Kind: e.Kind}
+			kinds[e.Kind] = k
+		}
+		k.Count++
+		k.Bytes += e.Bytes
+		k.Items += e.Items
+		k.Busy += e.Dur
+		n := nodes[e.Node]
+		if n == nil {
+			n = &NodeSummary{Node: e.Node}
+			nodes[e.Node] = n
+		}
+		n.Count++
+		n.Busy += e.Dur
+		n.Bytes += e.Bytes
+	}
+	s.Span = last.Sub(first)
+	for _, k := range kinds {
+		s.Kinds = append(s.Kinds, *k)
+	}
+	sort.Slice(s.Kinds, func(i, j int) bool { return s.Kinds[i].Kind < s.Kinds[j].Kind })
+	for _, n := range nodes {
+		s.Nodes = append(s.Nodes, *n)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return s.Nodes[i].Node < s.Nodes[j].Node })
+	return s
+}
+
+// Print renders the summary as aligned text.
+func (s Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events over %v\n", s.Events, s.Span.Round(time.Microsecond))
+	if s.Events == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s %8s %14s %12s %14s\n", "kind", "count", "bytes", "items", "busy")
+	for _, k := range s.Kinds {
+		fmt.Fprintf(w, "%-12s %8d %14d %12d %14v\n",
+			k.Kind, k.Count, k.Bytes, k.Items, k.Busy.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "%-12s %8s %14s %14s\n", "node", "count", "bytes", "busy")
+	for _, n := range s.Nodes {
+		fmt.Fprintf(w, "%-12s %8d %14d %14v\n",
+			n.Node, n.Count, n.Bytes, n.Busy.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{})
+	r.Span("n", KindFetch, "d", time.Now(), 1, 1)
+	r.Reset()
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if got := r.Events(); got != nil {
+		t.Errorf("nil recorder returned events: %v", got)
+	}
+}
+
+func TestRecordAndSummarize(t *testing.T) {
+	r := New()
+	base := time.Now()
+	r.Add(Event{Node: "joiner-0", Kind: KindFetch, Start: base, Dur: 10 * time.Millisecond, Bytes: 100, Items: 5})
+	r.Add(Event{Node: "joiner-0", Kind: KindBuild, Start: base.Add(10 * time.Millisecond), Dur: 5 * time.Millisecond, Items: 5})
+	r.Add(Event{Node: "joiner-1", Kind: KindFetch, Start: base.Add(2 * time.Millisecond), Dur: 20 * time.Millisecond, Bytes: 300, Items: 9})
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Start-ordered.
+	if events[0].Node != "joiner-0" || events[1].Node != "joiner-1" {
+		t.Errorf("order wrong: %v", events)
+	}
+	s := Summarize(events)
+	if s.Events != 3 {
+		t.Errorf("summary events = %d", s.Events)
+	}
+	// Span: first start to last end = 22ms? joiner-1 ends at 22ms,
+	// joiner-0 build ends at 15ms → 22ms.
+	if s.Span != 22*time.Millisecond {
+		t.Errorf("span = %v", s.Span)
+	}
+	var fetch *KindSummary
+	for i := range s.Kinds {
+		if s.Kinds[i].Kind == KindFetch {
+			fetch = &s.Kinds[i]
+		}
+	}
+	if fetch == nil || fetch.Count != 2 || fetch.Bytes != 400 || fetch.Items != 14 ||
+		fetch.Busy != 30*time.Millisecond {
+		t.Errorf("fetch summary = %+v", fetch)
+	}
+	if len(s.Nodes) != 2 || s.Nodes[0].Node != "joiner-0" || s.Nodes[0].Count != 2 {
+		t.Errorf("node summaries = %+v", s.Nodes)
+	}
+	var sb strings.Builder
+	s.Print(&sb)
+	for _, want := range []string{"3 events", "fetch", "joiner-1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("print missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Add(Event{Kind: KindProbe})
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset failed")
+	}
+	Summarize(nil).Print(&strings.Builder{}) // empty summary prints fine
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is a Transport over real TCP sockets on the loopback (or any)
+// interface. Services listen on ephemeral ports; a shared registry maps
+// service names to addresses so Dial needs only the name, mirroring the
+// directory role the MetaData Service plays for physical deployments.
+//
+// Wire format (all integers little-endian):
+//
+//	request:  u16 methodLen | method | u32 payloadLen | payload
+//	response: u8 status (0 ok, 1 remote error) | u32 len | bytes
+type TCP struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+// NewTCP returns a TCP transport with an empty service registry.
+func NewTCP() *TCP {
+	return &TCP{addrs: make(map[string]string)}
+}
+
+// Addr returns the listen address of a registered service, for wiring
+// external processes.
+func (t *TCP) Addr(service string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.addrs[service]
+	return a, ok
+}
+
+// RegisterRemote maps a service name to an address served by another
+// process (e.g. a standalone node started by cmd/sciview-node).
+func (t *TCP) RegisterRemote(service, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[service] = addr
+}
+
+// Serve implements Transport: it starts a TCP listener on an ephemeral
+// loopback port and serves each connection on its own goroutine.
+func (t *TCP) Serve(service string, h Handler) (io.Closer, error) {
+	return t.ServeAddr(service, "127.0.0.1:0", h)
+}
+
+// ServeAddr is Serve with an explicit listen address.
+func (t *TCP) ServeAddr(service, addr string, h Handler) (io.Closer, error) {
+	t.mu.Lock()
+	if _, ok := t.addrs[service]; ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: service %q already registered", service)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: listen for %q: %w", service, err)
+	}
+	t.addrs[service] = ln.Addr().String()
+	t.mu.Unlock()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					// Transient accept failure; keep serving.
+					continue
+				}
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveConn(conn, h)
+			}()
+		}
+	}()
+	return closerFunc(func() error {
+		close(done)
+		err := ln.Close()
+		t.mu.Lock()
+		delete(t.addrs, service)
+		t.mu.Unlock()
+		wg.Wait()
+		return err
+	}), nil
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	for {
+		method, payload, err := readRequest(conn)
+		if err != nil {
+			return // client closed or framing error: drop the connection
+		}
+		resp, herr := h(method, payload)
+		if werr := writeResponse(conn, resp, herr); werr != nil {
+			return
+		}
+	}
+}
+
+func readRequest(r io.Reader) (string, []byte, error) {
+	var mlen uint16
+	if err := binary.Read(r, binary.LittleEndian, &mlen); err != nil {
+		return "", nil, err
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(r, mbuf); err != nil {
+		return "", nil, err
+	}
+	var plen uint32
+	if err := binary.Read(r, binary.LittleEndian, &plen); err != nil {
+		return "", nil, err
+	}
+	if plen > 1<<30 {
+		return "", nil, fmt.Errorf("transport: oversized payload %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, err
+	}
+	return string(mbuf), payload, nil
+}
+
+func writeRequest(w io.Writer, method string, payload []byte) error {
+	buf := make([]byte, 0, 2+len(method)+4+len(payload))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(method)))
+	buf = append(buf, method...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func writeResponse(w io.Writer, resp []byte, herr error) error {
+	var buf []byte
+	if herr != nil {
+		msg := herr.Error()
+		buf = make([]byte, 0, 1+4+len(msg))
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
+		buf = append(buf, msg...)
+	} else {
+		buf = make([]byte, 0, 1+4+len(resp))
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp)))
+		buf = append(buf, resp...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readResponse(r io.Reader) ([]byte, bool, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return nil, false, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, false, err
+	}
+	if n > 1<<30 {
+		return nil, false, fmt.Errorf("transport: oversized response %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, false, err
+	}
+	return body, status[0] != 0, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(service string) (Conn, error) {
+	t.mu.RLock()
+	addr, ok := t.addrs[service]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	return DialAddr(service, addr)
+}
+
+// DialAddr connects directly to a service address (bypassing the
+// registry), for cross-process clients.
+func DialAddr(service, addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q at %s: %w", service, addr, err)
+	}
+	return &tcpConn{service: service, conn: c}, nil
+}
+
+type tcpConn struct {
+	service string
+	mu      sync.Mutex // serializes request/response pairs on the socket
+	conn    net.Conn
+}
+
+func (c *tcpConn) Call(method string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.conn, method, payload); err != nil {
+		return nil, fmt.Errorf("transport: sending %s.%s: %w", c.service, method, err)
+	}
+	body, isErr, err := readResponse(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: receiving %s.%s: %w", c.service, method, err)
+	}
+	if isErr {
+		return nil, &RemoteError{Service: c.service, Method: method, Msg: string(body)}
+	}
+	return body, nil
+}
+
+func (c *tcpConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,115 @@
+// Package transport provides the message layer between the framework's
+// services: a minimal request/response RPC with two interchangeable
+// implementations — an in-process registry (the default substrate of the
+// emulated cluster) and real TCP with length-prefixed framing (used by the
+// standalone node binary and integration tests).
+//
+// Bandwidth is modeled separately by simio; transport moves the bytes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Handler processes one request addressed to a service method and returns
+// the response payload. Errors are propagated to the caller as
+// *RemoteError values.
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Conn is a client connection to one service.
+type Conn interface {
+	// Call sends a request and waits for the response.
+	Call(method string, payload []byte) ([]byte, error)
+	io.Closer
+}
+
+// Transport registers services by name and connects clients to them.
+type Transport interface {
+	// Serve registers a service; the returned closer unregisters it.
+	Serve(service string, h Handler) (io.Closer, error)
+	// Dial connects to a registered service.
+	Dial(service string) (Conn, error)
+}
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Service string
+	Method  string
+	Msg     string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: %s.%s: %s", e.Service, e.Method, e.Msg)
+}
+
+// ErrUnknownService is returned by Dial for unregistered service names.
+var ErrUnknownService = errors.New("transport: unknown service")
+
+// InProc is an in-process Transport: Call invokes the handler directly in
+// the caller's goroutine. It is the zero-overhead substrate for the
+// emulated cluster, where nodes are goroutines of one process.
+type InProc struct {
+	mu       sync.RWMutex
+	services map[string]Handler
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{services: make(map[string]Handler)}
+}
+
+// Serve implements Transport.
+func (t *InProc) Serve(service string, h Handler) (io.Closer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.services[service]; ok {
+		return nil, fmt.Errorf("transport: service %q already registered", service)
+	}
+	t.services[service] = h
+	return closerFunc(func() error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		delete(t.services, service)
+		return nil
+	}), nil
+}
+
+// Dial implements Transport.
+func (t *InProc) Dial(service string) (Conn, error) {
+	t.mu.RLock()
+	_, ok := t.services[service]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	return &inprocConn{t: t, service: service}, nil
+}
+
+type inprocConn struct {
+	t       *InProc
+	service string
+}
+
+func (c *inprocConn) Call(method string, payload []byte) ([]byte, error) {
+	c.t.mu.RLock()
+	h, ok := c.t.services[c.service]
+	c.t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, c.service)
+	}
+	resp, err := h(method, payload)
+	if err != nil {
+		return nil, &RemoteError{Service: c.service, Method: method, Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+func (c *inprocConn) Close() error { return nil }
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// echoHandler responds with method:payload, erroring on method "fail".
+func echoHandler(method string, payload []byte) ([]byte, error) {
+	if method == "fail" {
+		return nil, errors.New("boom")
+	}
+	return append([]byte(method+":"), payload...), nil
+}
+
+func testTransport(t *testing.T, tr Transport) {
+	t.Helper()
+	closer, err := tr.Serve("bds-0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	if _, err := tr.Serve("bds-0", echoHandler); err == nil {
+		t.Error("duplicate Serve should fail")
+	}
+	if _, err := tr.Dial("missing"); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("Dial(missing) = %v, want ErrUnknownService", err)
+	}
+
+	conn, err := tr.Dial("bds-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, err := conn.Call("get", []byte("chunk7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("get:chunk7")) {
+		t.Errorf("resp = %q", resp)
+	}
+
+	// Empty payload.
+	resp, err = conn.Call("ping", nil)
+	if err != nil || string(resp) != "ping:" {
+		t.Errorf("ping = %q, %v", resp, err)
+	}
+
+	// Remote errors carry service/method context.
+	_, err = conn.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected RemoteError, got %v", err)
+	}
+	if re.Service != "bds-0" || re.Method != "fail" || re.Msg != "boom" {
+		t.Errorf("remote error = %+v", re)
+	}
+
+	// Large payload round trip (exercises framing).
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	resp, err = conn.Call("blob", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != len(big)+len("blob:") {
+		t.Errorf("large response length %d", len(resp))
+	}
+}
+
+func TestInProc(t *testing.T) { testTransport(t, NewInProc()) }
+
+func TestTCP(t *testing.T) { testTransport(t, NewTCP()) }
+
+func TestInProcUnregister(t *testing.T) {
+	tr := NewInProc()
+	closer, _ := tr.Serve("svc", echoHandler)
+	conn, _ := tr.Dial("svc")
+	closer.Close()
+	if _, err := conn.Call("m", nil); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("call after unregister = %v", err)
+	}
+	// Name can be reused after close.
+	if _, err := tr.Serve("svc", echoHandler); err != nil {
+		t.Errorf("re-register failed: %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	tr := NewTCP()
+	closer, err := tr.Serve("svc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := tr.Dial("svc")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 50; i++ {
+				msg := fmt.Sprintf("g%d-%d", g, i)
+				resp, err := conn.Call("echo", []byte(msg))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(resp) != "echo:"+msg {
+					t.Errorf("resp = %q", resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTCPSharedConnConcurrentCalls(t *testing.T) {
+	tr := NewTCP()
+	closer, err := tr.Serve("svc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	conn, err := tr.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := fmt.Sprintf("%d-%d", g, i)
+				resp, err := conn.Call("m", []byte(msg))
+				if err != nil || string(resp) != "m:"+msg {
+					t.Errorf("call: %q %v", resp, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTCPRegisterRemoteAndAddr(t *testing.T) {
+	tr := NewTCP()
+	closer, err := tr.Serve("real", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	addr, ok := tr.Addr("real")
+	if !ok || addr == "" {
+		t.Fatal("Addr lookup failed")
+	}
+	// A second registry learns the service by address.
+	tr2 := NewTCP()
+	tr2.RegisterRemote("alias", addr)
+	conn, err := tr2.Dial("alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call("m", []byte("x"))
+	if err != nil || string(resp) != "m:x" {
+		t.Errorf("aliased call = %q, %v", resp, err)
+	}
+	// Direct DialAddr.
+	conn2, err := DialAddr("direct", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Call("m", nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPServeAfterClose(t *testing.T) {
+	tr := NewTCP()
+	closer, err := tr.Serve("svc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Addr("svc"); ok {
+		t.Error("address should be unregistered after close")
+	}
+	// Name reusable.
+	closer2, err := tr.Serve("svc", echoHandler)
+	if err != nil {
+		t.Fatalf("re-serve: %v", err)
+	}
+	closer2.Close()
+}

@@ -1,0 +1,116 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for sub-tables (little endian):
+//
+//	magic     uint32  "SVT1"
+//	table     int32
+//	chunk     int32
+//	numAttrs  uint16
+//	per attr: nameLen uint16, name bytes, kind uint8
+//	rows      uint32
+//	columns:  numAttrs × rows × float32 (column-major)
+//
+// The format is self-describing so that BDS responses can be decoded
+// without out-of-band schema agreement, and column-major so that decode is
+// a straight copy per column.
+
+const codecMagic = 0x53565431 // "SVT1"
+
+// EncodedSize returns the exact encoded size of st in bytes.
+func EncodedSize(st *SubTable) int {
+	n := 4 + 4 + 4 + 2
+	for _, a := range st.Schema.Attrs {
+		n += 2 + len(a.Name) + 1
+	}
+	n += 4
+	n += st.Schema.NumAttrs() * st.NumRows() * 4
+	return n
+}
+
+// Encode serializes st into the wire format, appending to dst (which may be
+// nil) and returning the extended slice.
+func Encode(dst []byte, st *SubTable) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], codecMagic)
+	dst = append(dst, buf[:]...)
+	binary.LittleEndian.PutUint32(buf[:], uint32(st.ID.Table))
+	dst = append(dst, buf[:]...)
+	binary.LittleEndian.PutUint32(buf[:], uint32(st.ID.Chunk))
+	dst = append(dst, buf[:]...)
+	dst = append(dst, byte(len(st.Schema.Attrs)), byte(len(st.Schema.Attrs)>>8))
+	for _, a := range st.Schema.Attrs {
+		dst = append(dst, byte(len(a.Name)), byte(len(a.Name)>>8))
+		dst = append(dst, a.Name...)
+		dst = append(dst, byte(a.Kind))
+	}
+	binary.LittleEndian.PutUint32(buf[:], uint32(st.NumRows()))
+	dst = append(dst, buf[:]...)
+	for c := 0; c < st.Schema.NumAttrs(); c++ {
+		col := st.Col(c)
+		for _, v := range col {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			dst = append(dst, buf[:]...)
+		}
+	}
+	return dst
+}
+
+// Decode parses a sub-table from the wire format, returning the table and
+// the number of bytes consumed.
+func Decode(src []byte) (*SubTable, int, error) {
+	const hdr = 4 + 4 + 4 + 2
+	if len(src) < hdr {
+		return nil, 0, fmt.Errorf("tuple: short buffer (%d bytes) decoding sub-table header", len(src))
+	}
+	if m := binary.LittleEndian.Uint32(src[0:]); m != codecMagic {
+		return nil, 0, fmt.Errorf("tuple: bad magic %#x decoding sub-table", m)
+	}
+	id := ID{
+		Table: int32(binary.LittleEndian.Uint32(src[4:])),
+		Chunk: int32(binary.LittleEndian.Uint32(src[8:])),
+	}
+	numAttrs := int(binary.LittleEndian.Uint16(src[12:]))
+	off := hdr
+	attrs := make([]Attr, numAttrs)
+	for i := 0; i < numAttrs; i++ {
+		if len(src) < off+2 {
+			return nil, 0, fmt.Errorf("tuple: short buffer decoding attribute %d name length", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if len(src) < off+nameLen+1 {
+			return nil, 0, fmt.Errorf("tuple: short buffer decoding attribute %d", i)
+		}
+		attrs[i] = Attr{Name: string(src[off : off+nameLen]), Kind: Kind(src[off+nameLen])}
+		off += nameLen + 1
+	}
+	if len(src) < off+4 {
+		return nil, 0, fmt.Errorf("tuple: short buffer decoding row count")
+	}
+	rows := int(binary.LittleEndian.Uint32(src[off:]))
+	off += 4
+	need := numAttrs * rows * 4
+	if len(src) < off+need {
+		return nil, 0, fmt.Errorf("tuple: short buffer: need %d column bytes, have %d", need, len(src)-off)
+	}
+	cols := make([][]float32, numAttrs)
+	for c := 0; c < numAttrs; c++ {
+		col := make([]float32, rows)
+		for r := 0; r < rows; r++ {
+			col[r] = math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))
+			off += 4
+		}
+		cols[c] = col
+	}
+	st, err := FromColumns(id, Schema{Attrs: attrs}, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, off, nil
+}

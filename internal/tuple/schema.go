@@ -1,0 +1,194 @@
+// Package tuple defines the record model of the view framework: schemas,
+// columnar sub-tables, join keys, and a binary wire codec.
+//
+// A sub-table is the paper's unit of data flow: the object-relational
+// "page" an extractor produces from a flat-file chunk, shipped from storage
+// nodes to compute nodes and joined in memory. All attributes are 4-byte
+// values (the paper's datasets use 4-byte attributes throughout); we store
+// them as float32 columns. Grid coordinates are small integers, represented
+// exactly in float32, so equality joins on coordinates are exact.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an attribute. Coordinate attributes define the spatial
+// embedding of the dataset (x, y, z in the oil-reservoir tables) and are the
+// usual join and partitioning keys; measure attributes carry simulated
+// physical quantities (oil pressure, water pressure, saturation, ...).
+type Kind uint8
+
+const (
+	// Coord marks a coordinate attribute (partitioning/join dimension).
+	Coord Kind = iota
+	// Measure marks a scalar measurement attribute.
+	Measure
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Coord:
+		return "coord"
+	case Measure:
+		return "measure"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// AttrSize is the storage size in bytes of every attribute value.
+// The paper's evaluation uses 4-byte attributes exclusively.
+const AttrSize = 4
+
+// Attr describes one attribute of a virtual table.
+type Attr struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of attributes. Schemas are immutable by
+// convention: operations that change the attribute set return new schemas.
+type Schema struct {
+	Attrs []Attr
+}
+
+// NewSchema builds a schema from the given attributes. It panics on
+// duplicate attribute names, which indicate a programming error in table
+// definitions.
+func NewSchema(attrs ...Attr) Schema {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a.Name] {
+			panic(fmt.Sprintf("tuple: duplicate attribute %q in schema", a.Name))
+		}
+		seen[a.Name] = true
+	}
+	return Schema{Attrs: attrs}
+}
+
+// NumAttrs returns the number of attributes.
+func (s Schema) NumAttrs() int { return len(s.Attrs) }
+
+// RecordSize returns the size of one record in bytes. The cost models'
+// RS_R and RS_S parameters are exactly this quantity.
+func (s Schema) RecordSize() int { return len(s.Attrs) * AttrSize }
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Indexes resolves several attribute names at once. It returns an error
+// naming the first attribute that is missing.
+func (s Schema) Indexes(names []string) ([]int, error) {
+	idxs := make([]int, len(names))
+	for i, n := range names {
+		idx := s.Index(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("tuple: schema %v has no attribute %q", s, n)
+		}
+		idxs[i] = idx
+	}
+	return idxs, nil
+}
+
+// CoordIndexes returns the positions of all coordinate attributes, in order.
+func (s Schema) CoordIndexes() []int {
+	var idxs []int
+	for i, a := range s.Attrs {
+		if a.Kind == Coord {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// Names returns the attribute names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Project returns the sub-schema containing only the named attributes, plus
+// their positions in s.
+func (s Schema) Project(names []string) (Schema, []int, error) {
+	idxs, err := s.Indexes(names)
+	if err != nil {
+		return Schema{}, nil, err
+	}
+	attrs := make([]Attr, len(idxs))
+	for i, idx := range idxs {
+		attrs[i] = s.Attrs[idx]
+	}
+	return Schema{Attrs: attrs}, idxs, nil
+}
+
+// Equal reports whether two schemas have identical attributes in identical
+// order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinResult returns the schema of joining s (left) with o (right) on the
+// named key attributes: all left attributes followed by the right table's
+// non-key attributes. Right-side non-key attributes whose names collide with
+// a left attribute are prefixed with rightPrefix.
+func (s Schema) JoinResult(o Schema, keys []string, rightPrefix string) Schema {
+	isKey := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		isKey[k] = true
+	}
+	attrs := make([]Attr, 0, len(s.Attrs)+len(o.Attrs)-len(keys))
+	attrs = append(attrs, s.Attrs...)
+	taken := make(map[string]bool, len(attrs))
+	for _, a := range s.Attrs {
+		taken[a.Name] = true
+	}
+	for _, a := range o.Attrs {
+		if isKey[a.Name] {
+			continue
+		}
+		name := a.Name
+		if taken[name] {
+			name = rightPrefix + name
+		}
+		taken[name] = true
+		attrs = append(attrs, Attr{Name: name, Kind: a.Kind})
+	}
+	return Schema{Attrs: attrs}
+}
+
+// String renders the schema as (name:kind, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if a.Kind == Coord {
+			b.WriteString("*") // mark coordinates
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package tuple
+
+import (
+	"fmt"
+	"math"
+
+	"sciview/internal/bbox"
+)
+
+// ID identifies a basic sub-table as the pair (table id, chunk id), the
+// paper's (i, j) identifier scheme. Derived sub-tables (join results) keep
+// Table = -1.
+type ID struct {
+	Table int32
+	Chunk int32
+}
+
+// Less orders IDs lexicographically. The IJ scheduler sorts edge endpoints
+// with this order (the paper's stage-2 lexicographic schedule).
+func (id ID) Less(o ID) bool {
+	if id.Table != o.Table {
+		return id.Table < o.Table
+	}
+	return id.Chunk < o.Chunk
+}
+
+func (id ID) String() string { return fmt.Sprintf("(%d,%d)", id.Table, id.Chunk) }
+
+// SubTable is a columnar partition of a virtual table: a subset of records
+// with all attributes of its schema, plus the bounding-box metadata the
+// framework attaches to each chunk. SubTables are the unit of transfer
+// between BDS instances and join nodes.
+type SubTable struct {
+	ID     ID
+	Schema Schema
+	cols   [][]float32
+	rows   int
+}
+
+// NewSubTable returns an empty sub-table with the given schema, with space
+// preallocated for capacity rows.
+func NewSubTable(id ID, schema Schema, capacity int) *SubTable {
+	cols := make([][]float32, schema.NumAttrs())
+	for i := range cols {
+		cols[i] = make([]float32, 0, capacity)
+	}
+	return &SubTable{ID: id, Schema: schema, cols: cols}
+}
+
+// FromColumns builds a sub-table directly from column slices. All columns
+// must have equal length; the slices are adopted, not copied.
+func FromColumns(id ID, schema Schema, cols [][]float32) (*SubTable, error) {
+	if len(cols) != schema.NumAttrs() {
+		return nil, fmt.Errorf("tuple: %d columns for %d attributes", len(cols), schema.NumAttrs())
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
+	for i, c := range cols {
+		if len(c) != rows {
+			return nil, fmt.Errorf("tuple: column %d has %d rows, want %d", i, len(c), rows)
+		}
+	}
+	return &SubTable{ID: id, Schema: schema, cols: cols, rows: rows}, nil
+}
+
+// NumRows returns the number of records.
+func (st *SubTable) NumRows() int { return st.rows }
+
+// Bytes returns the in-memory payload size in bytes (rows × record size).
+// Transfer and spill accounting is based on this quantity.
+func (st *SubTable) Bytes() int { return st.rows * st.Schema.RecordSize() }
+
+// Reset truncates the sub-table to zero rows, retaining column capacity.
+// Engines running in counting mode reuse one output sub-table this way.
+func (st *SubTable) Reset() {
+	for i := range st.cols {
+		st.cols[i] = st.cols[i][:0]
+	}
+	st.rows = 0
+}
+
+// AppendRow appends one record. The number of values must match the schema.
+func (st *SubTable) AppendRow(vals ...float32) {
+	if len(vals) != len(st.cols) {
+		panic(fmt.Sprintf("tuple: AppendRow with %d values for %d attributes", len(vals), len(st.cols)))
+	}
+	for i, v := range vals {
+		st.cols[i] = append(st.cols[i], v)
+	}
+	st.rows++
+}
+
+// Value returns the value at (row, col).
+func (st *SubTable) Value(row, col int) float32 { return st.cols[col][row] }
+
+// Col returns the backing slice of a column. Callers must not modify it.
+func (st *SubTable) Col(col int) []float32 { return st.cols[col] }
+
+// Row copies record `row` into dst (allocated if nil) and returns it.
+func (st *SubTable) Row(row int, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(st.cols))
+	}
+	for i := range st.cols {
+		dst[i] = st.cols[i][row]
+	}
+	return dst
+}
+
+// Bounds computes the bounding box of the sub-table over all attributes, in
+// schema order. An empty sub-table yields an empty box.
+func (st *SubTable) Bounds() bbox.Box {
+	b := bbox.Empty(len(st.cols))
+	for d, col := range st.cols {
+		for _, v := range col {
+			fv := float64(v)
+			if fv < b.Lo[d] {
+				b.Lo[d] = fv
+			}
+			if fv > b.Hi[d] {
+				b.Hi[d] = fv
+			}
+		}
+	}
+	return b
+}
+
+// Project returns a new sub-table containing only the named attributes.
+// Column data is shared, not copied.
+func (st *SubTable) Project(names []string) (*SubTable, error) {
+	sub, idxs, err := st.Schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float32, len(idxs))
+	for i, idx := range idxs {
+		cols[i] = st.cols[idx]
+	}
+	return &SubTable{ID: st.ID, Schema: sub, cols: cols, rows: st.rows}, nil
+}
+
+// FilterRange returns a new sub-table with only the rows whose named
+// attributes fall within [lo[i], hi[i]] for every i. This implements the
+// paper's range-selection pushdown at the sub-table level.
+func (st *SubTable) FilterRange(names []string, lo, hi []float64) (*SubTable, error) {
+	if len(names) != len(lo) || len(lo) != len(hi) {
+		return nil, fmt.Errorf("tuple: FilterRange arity mismatch (%d names, %d lo, %d hi)", len(names), len(lo), len(hi))
+	}
+	idxs, err := st.Schema.Indexes(names)
+	if err != nil {
+		return nil, err
+	}
+	out := NewSubTable(st.ID, st.Schema, 0)
+	row := make([]float32, len(st.cols))
+rows:
+	for r := 0; r < st.rows; r++ {
+		for k, idx := range idxs {
+			v := float64(st.cols[idx][r])
+			if v < lo[k] || v > hi[k] {
+				continue rows
+			}
+		}
+		out.AppendRow(st.Row(r, row)...)
+	}
+	return out, nil
+}
+
+// AppendAll appends every row of o, which must share st's schema.
+func (st *SubTable) AppendAll(o *SubTable) error {
+	if !st.Schema.Equal(o.Schema) {
+		return fmt.Errorf("tuple: AppendAll schema mismatch: %v vs %v", st.Schema, o.Schema)
+	}
+	for i := range st.cols {
+		st.cols[i] = append(st.cols[i], o.cols[i]...)
+	}
+	st.rows += o.rows
+	return nil
+}
+
+// Key packs the values of the key attributes of record `row` into a uint64.
+//
+// For one or two key attributes the packing is exact (the float32 bit
+// patterns occupy disjoint 32-bit halves), so distinct keys never collide —
+// matching the paper's joins on (x, y). For more attributes the values are
+// mixed with an FNV-1a-style fold; the hash-join verifies real attribute
+// equality on probe, so collisions cost time, never correctness.
+func (st *SubTable) Key(row int, keyIdxs []int) uint64 {
+	switch len(keyIdxs) {
+	case 1:
+		return uint64(math.Float32bits(st.cols[keyIdxs[0]][row]))
+	case 2:
+		return uint64(math.Float32bits(st.cols[keyIdxs[0]][row]))<<32 |
+			uint64(math.Float32bits(st.cols[keyIdxs[1]][row]))
+	default:
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for _, idx := range keyIdxs {
+			bits := math.Float32bits(st.cols[idx][row])
+			for shift := 0; shift < 32; shift += 8 {
+				h ^= uint64(bits>>shift) & 0xff
+				h *= prime64
+			}
+		}
+		return h
+	}
+}
+
+// KeysEqual reports whether the key attributes of st[row] equal those of
+// o[orow], comparing actual values (the collision check behind Key).
+func (st *SubTable) KeysEqual(row int, keyIdxs []int, o *SubTable, orow int, oKeyIdxs []int) bool {
+	for i := range keyIdxs {
+		if st.cols[keyIdxs[i]][row] != o.cols[oKeyIdxs[i]][orow] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,341 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() Schema {
+	return NewSchema(
+		Attr{Name: "x", Kind: Coord},
+		Attr{Name: "y", Kind: Coord},
+		Attr{Name: "z", Kind: Coord},
+		Attr{Name: "oilp", Kind: Measure},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.NumAttrs() != 4 {
+		t.Fatalf("NumAttrs = %d, want 4", s.NumAttrs())
+	}
+	if s.RecordSize() != 16 {
+		t.Errorf("RecordSize = %d, want 16", s.RecordSize())
+	}
+	if s.Index("z") != 2 {
+		t.Errorf("Index(z) = %d, want 2", s.Index("z"))
+	}
+	if s.Index("missing") != -1 {
+		t.Errorf("Index(missing) = %d, want -1", s.Index("missing"))
+	}
+	ci := s.CoordIndexes()
+	if len(ci) != 3 || ci[0] != 0 || ci[2] != 2 {
+		t.Errorf("CoordIndexes = %v", ci)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate attribute")
+		}
+	}()
+	NewSchema(Attr{Name: "x"}, Attr{Name: "x"})
+}
+
+func TestSchemaIndexes(t *testing.T) {
+	s := testSchema()
+	idxs, err := s.Indexes([]string{"y", "oilp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxs[0] != 1 || idxs[1] != 3 {
+		t.Errorf("Indexes = %v, want [1 3]", idxs)
+	}
+	if _, err := s.Indexes([]string{"nope"}); err == nil {
+		t.Error("expected error for missing attribute")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p, idxs, err := s.Project([]string{"oilp", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAttrs() != 2 || p.Attrs[0].Name != "oilp" || p.Attrs[1].Name != "x" {
+		t.Errorf("projected schema = %v", p)
+	}
+	if idxs[0] != 3 || idxs[1] != 0 {
+		t.Errorf("projection indexes = %v", idxs)
+	}
+}
+
+func TestSchemaJoinResult(t *testing.T) {
+	left := testSchema()
+	right := NewSchema(
+		Attr{Name: "x", Kind: Coord},
+		Attr{Name: "y", Kind: Coord},
+		Attr{Name: "z", Kind: Coord},
+		Attr{Name: "wp", Kind: Measure},
+	)
+	j := left.JoinResult(right, []string{"x", "y"}, "r_")
+	// left 4 attrs + right's z (collides -> prefixed) and wp.
+	want := []string{"x", "y", "z", "oilp", "r_z", "wp"}
+	if len(j.Attrs) != len(want) {
+		t.Fatalf("join schema = %v, want %v", j.Names(), want)
+	}
+	for i, n := range want {
+		if j.Attrs[i].Name != n {
+			t.Errorf("attr %d = %q, want %q", i, j.Attrs[i].Name, n)
+		}
+	}
+}
+
+func TestSubTableAppendAndAccess(t *testing.T) {
+	st := NewSubTable(ID{Table: 1, Chunk: 2}, testSchema(), 4)
+	st.AppendRow(0, 0, 0, 0.5)
+	st.AppendRow(1, 0, 0, 0.7)
+	if st.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", st.NumRows())
+	}
+	if st.Value(1, 0) != 1 || st.Value(1, 3) != 0.7 {
+		t.Errorf("Value mismatch: %v %v", st.Value(1, 0), st.Value(1, 3))
+	}
+	if st.Bytes() != 2*16 {
+		t.Errorf("Bytes = %d, want 32", st.Bytes())
+	}
+	row := st.Row(0, nil)
+	if row[3] != 0.5 {
+		t.Errorf("Row = %v", row)
+	}
+}
+
+func TestSubTableBounds(t *testing.T) {
+	st := NewSubTable(ID{}, testSchema(), 0)
+	st.AppendRow(0, 5, 2, 0.1)
+	st.AppendRow(3, 1, 2, 0.9)
+	b := st.Bounds()
+	if b.Lo[0] != 0 || b.Hi[0] != 3 || b.Lo[1] != 1 || b.Hi[1] != 5 || b.Lo[2] != 2 || b.Hi[2] != 2 {
+		t.Errorf("Bounds = %v", b)
+	}
+	if !NewSubTable(ID{}, testSchema(), 0).Bounds().IsEmpty() {
+		t.Error("empty sub-table should have empty bounds")
+	}
+}
+
+func TestSubTableProjectSharesData(t *testing.T) {
+	st := NewSubTable(ID{}, testSchema(), 0)
+	st.AppendRow(1, 2, 3, 4)
+	p, err := st.Project([]string{"oilp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRows() != 1 || p.Value(0, 0) != 4 || p.Value(0, 1) != 2 {
+		t.Errorf("projection wrong: %v %v", p.Value(0, 0), p.Value(0, 1))
+	}
+}
+
+func TestSubTableFilterRange(t *testing.T) {
+	st := NewSubTable(ID{}, testSchema(), 0)
+	for i := 0; i < 10; i++ {
+		st.AppendRow(float32(i), float32(i*2), 0, float32(i)/10)
+	}
+	f, err := st.FilterRange([]string{"x", "y"}, []float64{2, 0}, []float64{7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x in [2,7] and y=2x in [0,10] -> x in {2,3,4,5}
+	if f.NumRows() != 4 {
+		t.Fatalf("filtered rows = %d, want 4", f.NumRows())
+	}
+	if f.Value(0, 0) != 2 || f.Value(3, 0) != 5 {
+		t.Errorf("filtered values wrong")
+	}
+	if _, err := st.FilterRange([]string{"x"}, []float64{0, 1}, []float64{2}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestSubTableAppendAll(t *testing.T) {
+	a := NewSubTable(ID{}, testSchema(), 0)
+	a.AppendRow(1, 1, 1, 1)
+	b := NewSubTable(ID{}, testSchema(), 0)
+	b.AppendRow(2, 2, 2, 2)
+	if err := a.AppendAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 2 || a.Value(1, 0) != 2 {
+		t.Error("AppendAll failed")
+	}
+	c := NewSubTable(ID{}, NewSchema(Attr{Name: "q"}), 0)
+	if err := a.AppendAll(c); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestFromColumnsValidation(t *testing.T) {
+	s := NewSchema(Attr{Name: "a"}, Attr{Name: "b"})
+	if _, err := FromColumns(ID{}, s, [][]float32{{1}}); err == nil {
+		t.Error("expected error for wrong column count")
+	}
+	if _, err := FromColumns(ID{}, s, [][]float32{{1, 2}, {3}}); err == nil {
+		t.Error("expected error for ragged columns")
+	}
+	st, err := FromColumns(ID{}, s, [][]float32{{1, 2}, {3, 4}})
+	if err != nil || st.NumRows() != 2 {
+		t.Errorf("FromColumns failed: %v", err)
+	}
+}
+
+func TestKeyExactForTwoAttrs(t *testing.T) {
+	st := NewSubTable(ID{}, testSchema(), 0)
+	st.AppendRow(1, 2, 0, 0)
+	st.AppendRow(2, 1, 0, 0)
+	st.AppendRow(1, 2, 9, 9)
+	k := []int{0, 1}
+	if st.Key(0, k) == st.Key(1, k) {
+		t.Error("distinct (x,y) must have distinct packed keys")
+	}
+	if st.Key(0, k) != st.Key(2, k) {
+		t.Error("equal (x,y) must have equal keys")
+	}
+}
+
+func TestKeysEqual(t *testing.T) {
+	st := NewSubTable(ID{}, testSchema(), 0)
+	st.AppendRow(1, 2, 3, 4)
+	o := NewSubTable(ID{}, testSchema(), 0)
+	o.AppendRow(1, 2, 9, 9)
+	o.AppendRow(1, 3, 9, 9)
+	k := []int{0, 1}
+	if !st.KeysEqual(0, k, o, 0, k) {
+		t.Error("keys should be equal")
+	}
+	if st.KeysEqual(0, k, o, 1, k) {
+		t.Error("keys should differ")
+	}
+}
+
+func TestIDLess(t *testing.T) {
+	if !(ID{1, 5}).Less(ID{2, 0}) {
+		t.Error("table ordering wrong")
+	}
+	if !(ID{1, 5}).Less(ID{1, 6}) {
+		t.Error("chunk ordering wrong")
+	}
+	if (ID{1, 5}).Less(ID{1, 5}) {
+		t.Error("Less must be strict")
+	}
+}
+
+func randSubTable(r *rand.Rand) *SubTable {
+	nAttrs := 1 + r.Intn(6)
+	attrs := make([]Attr, nAttrs)
+	for i := range attrs {
+		attrs[i] = Attr{Name: string(rune('a' + i)), Kind: Kind(r.Intn(2))}
+	}
+	st := NewSubTable(ID{Table: int32(r.Intn(10)), Chunk: int32(r.Intn(100))}, Schema{Attrs: attrs}, 0)
+	rows := r.Intn(50)
+	vals := make([]float32, nAttrs)
+	for i := 0; i < rows; i++ {
+		for j := range vals {
+			vals[j] = float32(r.Intn(1000))
+		}
+		st.AppendRow(vals...)
+	}
+	return st
+}
+
+func TestPropCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randSubTable(r)
+		enc := Encode(nil, st)
+		if len(enc) != EncodedSize(st) {
+			t.Logf("EncodedSize mismatch: %d vs %d", len(enc), EncodedSize(st))
+			return false
+		}
+		dec, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Logf("decode err=%v n=%d len=%d", err, n, len(enc))
+			return false
+		}
+		if dec.ID != st.ID || !dec.Schema.Equal(st.Schema) || dec.NumRows() != st.NumRows() {
+			return false
+		}
+		for c := 0; c < st.Schema.NumAttrs(); c++ {
+			for rr := 0; rr < st.NumRows(); rr++ {
+				if dec.Value(rr, c) != st.Value(rr, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("expected error on empty buffer")
+	}
+	if _, _, err := Decode(make([]byte, 14)); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	st := NewSubTable(ID{1, 1}, testSchema(), 0)
+	st.AppendRow(1, 2, 3, 4)
+	enc := Encode(nil, st)
+	for _, cut := range []int{15, len(enc) / 2, len(enc) - 1} {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("expected error on truncation at %d", cut)
+		}
+	}
+}
+
+func TestDecodeConcatenatedStream(t *testing.T) {
+	a := NewSubTable(ID{1, 1}, testSchema(), 0)
+	a.AppendRow(1, 2, 3, 4)
+	b := NewSubTable(ID{2, 7}, testSchema(), 0)
+	b.AppendRow(5, 6, 7, 8)
+	buf := Encode(Encode(nil, a), b)
+	da, n, err := Decode(buf)
+	if err != nil || da.ID != a.ID {
+		t.Fatalf("first decode: %v", err)
+	}
+	db, _, err := Decode(buf[n:])
+	if err != nil || db.ID != b.ID || db.Value(0, 3) != 8 {
+		t.Fatalf("second decode: %v", err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	st := NewSubTable(ID{}, testSchema(), 4096)
+	for i := 0; i < 4096; i++ {
+		st.AppendRow(float32(i), float32(i*3), float32(i%7), float32(i)/10)
+	}
+	b.SetBytes(int64(EncodedSize(st)))
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], st)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	st := NewSubTable(ID{}, testSchema(), 4096)
+	for i := 0; i < 4096; i++ {
+		st.AppendRow(float32(i), float32(i), float32(i), float32(i))
+	}
+	enc := Encode(nil, st)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package sciview
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := GenerateOilReservoir(OilReservoirSpec{
+		Grid:         Dims{X: 16, Y: 16, Z: 4},
+		LeftPart:     Dims{X: 4, Y: 4, Z: 4},
+		RightPart:    Dims{X: 4, Y: 4, Z: 4},
+		StorageNodes: 3,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(testDataset(t), ClusterSpec{ComputeNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9) // skip calibration in tests
+	return sys
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	ds := testDataset(t)
+	if ds.StorageNodes() != 3 {
+		t.Errorf("StorageNodes = %d", ds.StorageNodes())
+	}
+	tables := ds.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("Tables = %v", tables)
+	}
+	schema, err := ds.TableSchema("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 4 || !schema[0].Coord || schema[3].Coord {
+		t.Errorf("schema = %+v", schema)
+	}
+	if _, err := ds.TableSchema("nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := NewSystem(ds, ClusterSpec{StorageNodes: 5}); err == nil {
+		t.Error("storage node mismatch accepted")
+	}
+	sys, err := NewSystem(ds, ClusterSpec{}) // defaults: 3 storage (from ds), 1 compute
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	sys := testSystem(t)
+	res, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewCreated != "V1" {
+		t.Errorf("res = %+v", res)
+	}
+
+	res, err = sys.Exec("SELECT * FROM V1 WHERE z = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 16*16 {
+		t.Errorf("rows = %d", res.Rows.NumRows())
+	}
+	if res.Plan == nil || res.Plan.Tuples != 256 || res.Plan.Engine == "" {
+		t.Errorf("plan = %+v", res.Plan)
+	}
+	cols := res.Rows.Columns()
+	if len(cols) != 5 || cols[4] != "wp" {
+		t.Errorf("columns = %v", cols)
+	}
+
+	// Aggregation with grouping.
+	res, err = sys.Exec("SELECT AVG(wp), COUNT(*) FROM V1 GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 4 {
+		t.Errorf("groups = %d", res.Rows.NumRows())
+	}
+	if c := res.Rows.Col("count"); c < 0 || res.Rows.Value(0, c) != 256 {
+		t.Errorf("count column wrong")
+	}
+}
+
+func TestForceEngine(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ForceEngine("zzz"); err == nil {
+		t.Error("bad engine name accepted")
+	}
+	for _, name := range []string{"gh", "ij"} {
+		if err := sys.ForceEngine(name); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Exec("SELECT * FROM V1 WHERE z = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan.Engine != name || !res.Plan.Forced {
+			t.Errorf("plan = %+v, want forced %s", res.Plan, name)
+		}
+	}
+	if err := sys.ForceEngine(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := sys.Explain("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Engine != "ij" && info.Engine != "gh" {
+		t.Errorf("engine = %q", info.Engine)
+	}
+	if info.Measured != 0 {
+		t.Error("Explain must not execute")
+	}
+	if _, err := sys.Explain("nope"); err == nil {
+		t.Error("unknown view accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	sys := testSystem(t)
+	res, err := sys.Exec("SELECT * FROM T1 WHERE x = 0 AND y = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Rows.String()
+	if !strings.Contains(s, "oilp") {
+		t.Errorf("render missing header:\n%s", s)
+	}
+	var sb strings.Builder
+	n := res.Rows.WriteTo(&sb, 2)
+	if n != 2 || !strings.Contains(sb.String(), "more rows") {
+		t.Errorf("truncation wrong: n=%d %q", n, sb.String())
+	}
+	if res.Rows.NumCols() != 4 {
+		t.Errorf("NumCols = %d", res.Rows.NumCols())
+	}
+	row := res.Rows.Row(0, nil)
+	if len(row) != 4 {
+		t.Errorf("Row = %v", row)
+	}
+}
+
+func TestDatasetBuilder(t *testing.T) {
+	b := NewDatasetBuilder(2)
+	schema := Schema{{Name: "x", Coord: true}, {Name: "y", Coord: true}, {Name: "v"}}
+	b.CreateTable("A", schema).CreateTable("B", schema)
+	for n := 0; n < 2; n++ {
+		var rowsA, rowsB [][]float32
+		for i := 0; i < 8; i++ {
+			x, y := float32(i%4), float32(i/4+2*n)
+			rowsA = append(rowsA, []float32{x, y, float32(i)})
+			rowsB = append(rowsB, []float32{x, y, float32(i) + 100})
+		}
+		b.AppendChunk("A", n, "rowmajor", rowsA)
+		b.AppendChunk("B", n, "colmajor", rowsB)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9)
+	if _, err := sys.Exec("CREATE VIEW AB AS SELECT * FROM A JOIN B ON (x, y)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Exec("SELECT * FROM AB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 16 {
+		t.Errorf("rows = %d, want 16", res.Rows.NumRows())
+	}
+	// Matched values differ by 100 by construction.
+	vi := res.Rows.Col("v")
+	ri := res.Rows.Col("r_v")
+	if vi < 0 || ri < 0 {
+		t.Fatalf("columns = %v", res.Rows.Columns())
+	}
+	for r := 0; r < res.Rows.NumRows(); r++ {
+		if res.Rows.Value(r, ri)-res.Rows.Value(r, vi) != 100 {
+			t.Fatalf("row %d: v=%v r_v=%v", r, res.Rows.Value(r, vi), res.Rows.Value(r, ri))
+		}
+	}
+}
+
+func TestDatasetBuilderErrors(t *testing.T) {
+	b := NewDatasetBuilder(1)
+	b.AppendChunk("missing", 0, "", [][]float32{{1}})
+	if _, err := b.Build(); err == nil {
+		t.Error("chunk for missing table accepted")
+	}
+	b = NewDatasetBuilder(1)
+	b.CreateTable("A", Schema{{Name: "x", Coord: true}})
+	b.AppendChunk("A", 5, "", [][]float32{{1}})
+	if _, err := b.Build(); err == nil {
+		t.Error("bad node accepted")
+	}
+	b = NewDatasetBuilder(1)
+	b.CreateTable("A", Schema{{Name: "x", Coord: true}})
+	b.AppendChunk("A", 0, "", [][]float32{{1, 2}})
+	if _, err := b.Build(); err == nil {
+		t.Error("bad row arity accepted")
+	}
+	b = NewDatasetBuilder(1)
+	b.CreateTable("A", Schema{{Name: "x", Coord: true}})
+	b.AppendChunk("A", 0, "hdf5", [][]float32{{1}})
+	if _, err := b.Build(); err == nil {
+		t.Error("unknown format accepted")
+	}
+	b = NewDatasetBuilder(1)
+	b.CreateTable("A", Schema{{Name: "v"}}) // no coordinates
+	if _, err := b.Build(); err == nil {
+		t.Error("coordinate-free table accepted")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99", ExperimentSpec{Quick: true}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if len(Figures()) != 6 {
+		t.Errorf("Figures() = %v", Figures())
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	e, err := RunExperiment("fig6", ExperimentSpec{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig6" || len(e.Rows) < 2 {
+		t.Errorf("experiment = %+v", e)
+	}
+	var sb strings.Builder
+	e.Print(&sb)
+	if !strings.Contains(sb.String(), "fig6") {
+		t.Error("print missing id")
+	}
+}
+
+func TestTCPSystemEndToEnd(t *testing.T) {
+	sys, err := NewSystem(testDataset(t), ClusterSpec{ComputeNodes: 2, UseTCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.SetAlphas(100e-9, 50e-9)
+	if _, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	// The Indexed Join engine fetches every sub-table over real sockets.
+	if err := sys.ForceEngine("ij"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Exec("SELECT COUNT(*) FROM V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Tuples != 16*16*4 {
+		t.Errorf("tuples over TCP = %d", res.Plan.Tuples)
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestSQLOrderLimitAndLayering(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z) WHERE z = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec("CREATE VIEW corner AS SELECT * FROM V1 WHERE x BETWEEN 0 AND 1 AND y BETWEEN 0 AND 1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Exec("SELECT * FROM corner ORDER BY x DESC, y LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Rows.NumRows())
+	}
+	// Descending x then ascending y over cells {0,1}²: (1,0), (1,1), (0,0).
+	wantXY := [][2]float32{{1, 0}, {1, 1}, {0, 0}}
+	for i, w := range wantXY {
+		if res.Rows.Value(i, 0) != w[0] || res.Rows.Value(i, 1) != w[1] {
+			t.Errorf("row %d = (%v,%v), want %v", i, res.Rows.Value(i, 0), res.Rows.Value(i, 1), w)
+		}
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds := testDataset(t)
+	if err := SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.StorageNodes() != ds.StorageNodes() {
+		t.Errorf("nodes = %d, want %d", re.StorageNodes(), ds.StorageNodes())
+	}
+	sys, err := NewSystem(re, ClusterSpec{ComputeNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetAlphas(100e-9, 50e-9)
+	if _, err := sys.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Exec("SELECT COUNT(*) FROM V")
+	if err != nil || res.Rows.Value(0, 0) != 16*16*4 {
+		t.Errorf("reopened dataset join: %v count=%v", err, res.Rows.Value(0, 0))
+	}
+	// Open failures.
+	if _, err := OpenDataset(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestExecutorProjectionPushdown(t *testing.T) {
+	// The SQL layer pushes needed attributes down automatically; results
+	// must match the unprojected query.
+	sys := testSystem(t)
+	if _, err := sys.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sys.Exec("SELECT AVG(wp) FROM V GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := sys.Exec("SELECT * FROM V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check one group average against the star output.
+	wpCol := star.Rows.Col("wp")
+	zCol := star.Rows.Col("z")
+	var sum float64
+	var n int
+	for r := 0; r < star.Rows.NumRows(); r++ {
+		if star.Rows.Value(r, zCol) == 0 {
+			sum += float64(star.Rows.Value(r, wpCol))
+			n++
+		}
+	}
+	got := float64(agg.Rows.Value(0, 1))
+	want := sum / float64(n)
+	if got < want-1e-4 || got > want+1e-4 {
+		t.Errorf("pushed-down AVG = %v, recomputed %v", got, want)
+	}
+}
+
+func TestTraceSummaryFacade(t *testing.T) {
+	sys := testSystem(t)
+	if s := sys.TraceSummary(); s != "" {
+		t.Errorf("summary before enable = %q", s)
+	}
+	sys.EnableTrace()
+	if _, err := sys.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec("SELECT COUNT(*) FROM V"); err != nil {
+		t.Fatal(err)
+	}
+	s := sys.TraceSummary()
+	if !strings.Contains(s, "fetch") || !strings.Contains(s, "probe") {
+		t.Errorf("summary missing kinds:\n%s", s)
+	}
+	// Summary reads-and-clears.
+	if s2 := sys.TraceSummary(); !strings.Contains(s2, "0 events") {
+		t.Errorf("second summary = %q", s2)
+	}
+}
+
+func TestConcurrentQueriesSerialize(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	counts := make([]float32, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := sys.Exec("SELECT COUNT(*) FROM V WHERE z = 0")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = res.Rows.Value(0, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if counts[i] != 256 {
+			t.Errorf("query %d count = %v, want 256", i, counts[i])
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sys := testSystem(t)
+	res, err := sys.Exec("SELECT * FROM T1 WHERE x = 0 AND y = 0 ORDER BY z LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Rows.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "x,y,z,oilp" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,0,") || !strings.HasPrefix(lines[2], "0,0,1,") {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestPaperNotationEndToEnd(t *testing.T) {
+	// The paper's running query, verbatim shape:
+	// SELECT * FROM T1 WHERE x IN [0, 256], y IN [0, 512] — with AND.
+	sys := testSystem(t)
+	res, err := sys.Exec("SELECT * FROM T1 WHERE x IN [0, 3] AND y IN [0, 1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != 4*2*4 {
+		t.Errorf("rows = %d, want 32", res.Rows.NumRows())
+	}
+}

@@ -1,0 +1,81 @@
+package sciview
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sciview/internal/tuple"
+)
+
+// Table is a read-only result set: rows of float32 values under a schema.
+type Table struct {
+	st *tuple.SubTable
+}
+
+// Columns returns the column names in order.
+func (t *Table) Columns() []string { return t.st.Schema.Names() }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.st.NumRows() }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return t.st.Schema.NumAttrs() }
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row, col int) float32 { return t.st.Value(row, col) }
+
+// Row copies row `row` into dst (allocated if nil) and returns it.
+func (t *Table) Row(row int, dst []float32) []float32 { return t.st.Row(row, dst) }
+
+// Col returns the index of a named column, or -1.
+func (t *Table) Col(name string) int { return t.st.Schema.Index(name) }
+
+// WriteTo renders the table as aligned text, truncating after maxRows
+// (<= 0 prints everything). It returns the number of rows printed.
+func (t *Table) WriteTo(w io.Writer, maxRows int) int {
+	cols := t.Columns()
+	fmt.Fprintln(w, strings.Join(cols, "\t"))
+	n := t.NumRows()
+	printed := n
+	if maxRows > 0 && n > maxRows {
+		printed = maxRows
+	}
+	for r := 0; r < printed; r++ {
+		parts := make([]string, len(cols))
+		for c := range cols {
+			parts[c] = fmt.Sprintf("%g", t.Value(r, c))
+		}
+		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	}
+	if printed < n {
+		fmt.Fprintf(w, "... (%d more rows)\n", n-printed)
+	}
+	return printed
+}
+
+// WriteCSV writes the table as RFC-4180-ish CSV (header row + data rows).
+// Values render with %g. It returns any write error.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns(), ",")); err != nil {
+		return err
+	}
+	cols := t.NumCols()
+	for r := 0; r < t.NumRows(); r++ {
+		parts := make([]string, cols)
+		for c := 0; c < cols; c++ {
+			parts[c] = fmt.Sprintf("%g", t.Value(r, c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders up to 20 rows.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb, 20)
+	return sb.String()
+}
