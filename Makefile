@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector: the query
+# service, the caches/singleflight groups, the transport, the cluster and
+# both engines in shared mode.
+race:
+	$(GO) test -race -count=1 ./internal/service ./internal/cache ./internal/transport ./internal/cluster
+	$(GO) test -race -short -count=1 -run TestServiceBenchShort .
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=Fig -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -17,7 +17,35 @@ package sciview
 
 import (
 	"testing"
+	"time"
 )
+
+// TestServiceBenchShort drives the concurrent query service closed-loop
+// for a moment — small enough for `go test -short`, and the hook that
+// puts the service under the race detector when the root suite runs with
+// -race. Every completed query must have run; the dedup counters must be
+// consistent (shared fetches require at least one leader).
+func TestServiceBenchShort(t *testing.T) {
+	res, err := RunServiceBench(ServiceBenchSpec{
+		Concurrency:  4,
+		Duration:     500 * time.Millisecond,
+		StorageNodes: 2,
+		ComputeNodes: 2,
+		Engine:       "ij",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed in the window")
+	}
+	if res.Stats.Completed < res.Queries {
+		t.Errorf("stats completed %d < measured %d", res.Stats.Completed, res.Queries)
+	}
+	if res.Stats.Dedup.Shared > 0 && res.Stats.Dedup.Leads == 0 {
+		t.Errorf("dedup counters inconsistent: %+v", res.Stats.Dedup)
+	}
+}
 
 func benchFigure(b *testing.B, id string) {
 	b.Helper()

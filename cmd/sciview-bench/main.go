@@ -7,12 +7,19 @@
 //	sciview-bench               # all figures, standard configuration
 //	sciview-bench -fig fig4     # one figure
 //	sciview-bench -quick        # trimmed sweeps (seconds, for smoke tests)
+//
+// With -concurrency N it instead drives the concurrent query service
+// closed-loop: N clients submit the same join back-to-back, reporting
+// throughput, latency percentiles, queue waits and the fetch-dedup rate.
+//
+//	sciview-bench -concurrency 8 -duration 10s -max-inflight 4
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"time"
 
 	"sciview"
 )
@@ -28,8 +35,29 @@ func main() {
 		seed      = flag.Int64("seed", 0, "dataset seed (default 2006)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned text (single -fig only)")
+
+		concurrency = flag.Int("concurrency", 0, "closed-loop clients driving the query service (0 = run the figures instead)")
+		duration    = flag.Duration("duration", 5*time.Second, "measurement window of the -concurrency driver")
+		maxInFlight = flag.Int("max-inflight", 0, "service execution slots (default = -concurrency)")
+		memBudget   = flag.Int64("mem-budget", 0, "service working-set budget in bytes (0 = unlimited)")
+		forceEngine = flag.String("engine", "", "force engine for -concurrency: ij or gh")
 	)
 	flag.Parse()
+	if *concurrency > 0 {
+		if _, err := sciview.RunServiceBench(sciview.ServiceBenchSpec{
+			Concurrency:  *concurrency,
+			Duration:     *duration,
+			MaxInFlight:  *maxInFlight,
+			MemoryBudget: *memBudget,
+			StorageNodes: *storage,
+			ComputeNodes: *compute,
+			Engine:       *forceEngine,
+			Seed:         *seed,
+		}, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	spec := sciview.ExperimentSpec{
 		Quick:        *quick,
 		StorageNodes: *storage,

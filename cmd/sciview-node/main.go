@@ -91,13 +91,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer closer.Close()
 	actual, _ := tr.Addr(bds.ServiceName(*node))
 	fmt.Printf("serving BDS for storage node %d at %s (ctrl-c to stop)\n", *node, actual)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: stop accepting, let requests already being handled
+	// send their responses, then tear the connections down.
+	fmt.Println("draining in-flight requests...")
+	if err := closer.Close(); err != nil {
+		log.Print(err)
+	}
 	fmt.Printf("served %d sub-tables (%d records)\n",
 		svc.Stats.SubTablesServed.Load(), svc.Stats.RecordsServed.Load())
 }

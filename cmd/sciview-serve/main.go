@@ -1,0 +1,190 @@
+// sciview-serve runs the concurrent query service as a standalone TCP
+// server: an emulated cluster over a dataset directory, fronted by the
+// admission controller, priority queue and fetch deduplicator, accepting
+// join-view queries from many remote clients at once. SIGTERM/ctrl-c
+// drains gracefully: in-flight queries finish, queued ones are refused.
+//
+// Serve:
+//
+//	sciview-serve -data /tmp/reservoir -addr 127.0.0.1:7080 \
+//	    -compute 4 -max-inflight 4 -mem-budget 268435456
+//
+// Submit a query from another process (client mode):
+//
+//	sciview-serve -query -addr 127.0.0.1:7080 -left T1 -right T2 \
+//	    -on x,y,z -range x:0:31,y:0:15 -priority 2 -timeout 30s
+//
+// Read the server's counters:
+//
+//	sciview-serve -stats -addr 127.0.0.1:7080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sciview"
+	"sciview/internal/engine"
+	"sciview/internal/metadata"
+	"sciview/internal/service"
+	"sciview/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sciview-serve: ")
+	var (
+		// Serve mode.
+		data        = flag.String("data", "", "dataset directory (serve mode)")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address (serve) or server address (client)")
+		compute     = flag.Int("compute", 4, "number of compute nodes")
+		cacheBytes  = flag.Int64("cache", 64<<20, "per-compute-node sub-table cache bytes")
+		diskBw      = flag.Float64("disk-bw", 0, "disk bandwidth in bytes/s (0 = unlimited)")
+		netBw       = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
+		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
+		memBudget   = flag.Int64("mem-budget", 0, "working-set budget across in-flight queries in bytes (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
+		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
+		// Client mode.
+		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
+		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
+		left     = flag.String("left", "T1", "left (build) table")
+		right    = flag.String("right", "T2", "right (probe) table")
+		on       = flag.String("on", "x,y,z", "comma-separated join attributes")
+		ranges   = flag.String("range", "", "filter, comma-separated attr:lo:hi triples (e.g. x:0:31,y:0:15)")
+		priority = flag.Int("priority", 0, "admission priority (higher runs sooner)")
+		timeout  = flag.Duration("timeout", 0, "query deadline; also enforced server-side (0 = none)")
+	)
+	flag.Parse()
+
+	if *query || *stats {
+		runClient(*addr, *query, *left, *right, *on, *ranges, *priority, *timeout)
+		return
+	}
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := sciview.OpenDataset(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
+		ComputeNodes: *compute,
+		CacheBytes:   *cacheBytes,
+		DiskReadBw:   *diskBw,
+		DiskWriteBw:  *diskBw,
+		NetBw:        *netBw,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := service.New(sys.Cluster(), service.Config{
+		MaxInFlight:  *maxInFlight,
+		MemoryBudget: *memBudget,
+		MaxQueue:     *maxQueue,
+		Force:        *force,
+	})
+
+	tr := transport.NewTCP()
+	closer, err := tr.ServeAddr(service.DefaultServiceName, *addr, svc.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, _ := tr.Addr(service.DefaultServiceName)
+	fmt.Printf("query service at %s (%d slots", actual, *maxInFlight)
+	if *memBudget > 0 {
+		fmt.Printf(", %d byte budget", *memBudget)
+	}
+	fmt.Println("; ctrl-c to drain and stop)")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining: refusing new queries, finishing in-flight...")
+	if err := closer.Close(); err != nil { // TCP drain: responses still go out
+		log.Print(err)
+	}
+	svc.Close() // admission drain: blocks until in-flight queries finish
+	fmt.Println(svc.Stats())
+}
+
+func runClient(addr string, query bool, left, right, on, ranges string, priority int, timeout time.Duration) {
+	conn, err := transport.DialAddr(service.DefaultServiceName, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	client := service.NewClient(conn)
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if !query { // -stats
+		st, err := client.Stats(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(st)
+		return
+	}
+
+	filter, err := parseRanges(ranges)
+	if err != nil {
+		log.Fatalf("-range: %v", err)
+	}
+	resp, err := client.Query(ctx, service.Query{
+		Req: engine.Request{
+			LeftTable:  left,
+			RightTable: right,
+			JoinAttrs:  strings.Split(on, ","),
+			Filter:     filter,
+		},
+		Priority: priority,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d tuples in %v (queued %v, weight %d bytes)\n",
+		resp.Result.Engine, resp.Result.Tuples,
+		resp.Result.Elapsed.Round(time.Microsecond),
+		resp.QueueWait.Round(time.Microsecond), resp.Weight)
+}
+
+// parseRanges parses comma-separated attr:lo:hi triples.
+func parseRanges(s string) (metadata.Range, error) {
+	var r metadata.Range
+	if s == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		f := strings.Split(part, ":")
+		if len(f) != 3 {
+			return r, fmt.Errorf("want attr:lo:hi, got %q", part)
+		}
+		lo, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return r, fmt.Errorf("parsing %q: %w", part, err)
+		}
+		hi, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return r, fmt.Errorf("parsing %q: %w", part, err)
+		}
+		r.Attrs = append(r.Attrs, f[0])
+		r.Lo = append(r.Lo, lo)
+		r.Hi = append(r.Hi, hi)
+	}
+	return r, nil
+}

@@ -2,6 +2,7 @@ package bds
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -73,17 +74,19 @@ func DialNode(tr transport.Transport, node int) (*Client, error) {
 
 // SubTable fetches a sub-table from the remote BDS.
 func (c *Client) SubTable(id tuple.ID, filter *metadata.Range) (*tuple.SubTable, error) {
-	return c.SubTableProjected(id, filter, nil)
+	return c.SubTableProjected(context.Background(), id, filter, nil)
 }
 
-// SubTableProjected fetches with projection pushdown.
-func (c *Client) SubTableProjected(id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+// SubTableProjected fetches with projection pushdown, observing ctx: a
+// cancelled or deadline-expired context aborts the wire exchange and
+// returns ctx.Err() instead of blocking on a slow or stuck node.
+func (c *Client) SubTableProjected(ctx context.Context, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
 	var buf bytes.Buffer
 	req := subTableReq{Table: id.Table, Chunk: id.Chunk, Filter: filter, Project: project}
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return nil, fmt.Errorf("bds: encoding request: %w", err)
 	}
-	resp, err := c.conn.Call("subtable", buf.Bytes())
+	resp, err := c.conn.CallContext(ctx, "subtable", buf.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -14,8 +14,12 @@
 package cluster
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"sync"
 	"time"
 
@@ -97,6 +101,42 @@ type StorageNode struct {
 	BDS  *bds.Service
 }
 
+// FetchKey identifies a cached (or in-flight) fetch result: the sub-table
+// id plus a signature of the filter and projection that shaped it. Keying
+// by id alone was safe while queries ran exclusively and caches were reset
+// between runs; under the concurrent query service, queries with different
+// predicates or projections share the node caches, and the signature keeps
+// their entries from aliasing.
+type FetchKey struct {
+	ID  tuple.ID
+	Sig uint64
+}
+
+// Signature hashes a fetch's shaping parameters (range filter and
+// projection list) into a FetchKey signature.
+func Signature(filter *metadata.Range, project []string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	if filter != nil {
+		for i, a := range filter.Attrs {
+			h.Write([]byte(a))
+			h.Write([]byte{0})
+			writeF(filter.Lo[i])
+			writeF(filter.Hi[i])
+		}
+	}
+	h.Write([]byte{1})
+	for _, p := range project {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
 // ComputeNode is one node of the compute cluster.
 type ComputeNode struct {
 	ID int
@@ -105,7 +145,11 @@ type ComputeNode struct {
 	Scratch *simio.Disk
 	NIC     *simio.NIC
 	// Cache is the node's Caching Service instance for sub-tables.
-	Cache cache.Cache[tuple.ID, *tuple.SubTable]
+	Cache cache.Cache[FetchKey, *tuple.SubTable]
+	// Flight deduplicates concurrent fetches of one sub-table across the
+	// queries sharing this node, so N simultaneous cache misses on a key
+	// cost one BDS fetch.
+	Flight *cache.Flight[FetchKey, *tuple.SubTable]
 	// CPU is the node's modeled processor: QES instances charge hash
 	// operations to it via SpendCPU.
 	CPU *simio.Throttle
@@ -124,10 +168,12 @@ type Cluster struct {
 	Storage []*StorageNode
 	Compute []*ComputeNode
 
-	// runMu serializes query executions: engines reset per-run state
-	// (caches, counters, throttles), so two queries cannot share the
-	// cluster concurrently.
-	runMu sync.Mutex
+	// runMu arbitrates query executions. Exclusive runs (the historical
+	// mode: engines reset caches, counters and throttles at start) take
+	// the write side; shared runs — queries admitted by the concurrent
+	// query service, which leave cluster state intact so caches and
+	// fetch deduplication amortize across queries — take the read side.
+	runMu sync.RWMutex
 
 	// nfsRead/nfsWrite are the shared-server throttles (SharedFS only).
 	nfsRead  *simio.Throttle
@@ -188,7 +234,7 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		if cfg.CPUSecPerOp > 0 {
 			cpuRate = 1 / cfg.CPUSecPerOp // "ops per second"
 		}
-		nodeCache, err := cache.NewPolicy[tuple.ID, *tuple.SubTable](cfg.CachePolicy, cfg.CacheBytes)
+		nodeCache, err := cache.NewPolicy[FetchKey, *tuple.SubTable](cfg.CachePolicy, cfg.CacheBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +243,7 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 			Scratch: scratch,
 			NIC:     simio.NewNIC(cfg.NetBw, nil),
 			Cache:   nodeCache,
+			Flight:  cache.NewFlight[FetchKey, *tuple.SubTable](),
 			CPU:     simio.NewThrottle(cpuRate),
 		}
 		cl.Compute = append(cl.Compute, cn)
@@ -263,13 +310,18 @@ func (cl *Cluster) Close() error {
 // result is shipped over both NICs (paying network bandwidth). Fetch does
 // not consult the compute node's cache — cache policy belongs to the QES.
 func (cl *Cluster) Fetch(computeID int, id tuple.ID, filter *metadata.Range) (*tuple.SubTable, error) {
-	return cl.FetchProjected(computeID, id, filter, nil)
+	return cl.FetchProjected(context.Background(), computeID, id, filter, nil)
 }
 
 // FetchProjected is Fetch with projection pushdown: only the named
 // attributes travel from the BDS (non-nil project), shrinking the modeled
-// transfer.
-func (cl *Cluster) FetchProjected(computeID int, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+// transfer. The fetch observes ctx: a cancelled or expired context aborts
+// the TCP exchange (when the cluster is wired over sockets) and returns
+// ctx.Err() rather than completing the transfer.
+func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	desc, err := cl.Catalog.Chunk(id.Table, id.Chunk)
 	if err != nil {
 		return nil, err
@@ -283,7 +335,7 @@ func (cl *Cluster) FetchProjected(computeID int, id tuple.ID, filter *metadata.R
 	sn := cl.Storage[desc.Node]
 	var st *tuple.SubTable
 	if cl.clients != nil {
-		st, err = cl.clients[computeID][desc.Node].SubTableProjected(id, filter, project)
+		st, err = cl.clients[computeID][desc.Node].SubTableProjected(ctx, id, filter, project)
 	} else {
 		st, err = sn.BDS.SubTableProjected(id, filter, project)
 	}
@@ -300,13 +352,34 @@ func (cl *Cluster) Ship(s, j int, size int64) {
 	simio.Transfer(cl.Storage[s].NIC, cl.Compute[j].NIC, size)
 }
 
-// AcquireRun takes the cluster for one query execution; ReleaseRun frees
-// it. Engines call these around Run so concurrent queries on one cluster
-// serialize instead of corrupting each other's caches and accounting.
+// AcquireRun takes the cluster exclusively for one query execution;
+// ReleaseRun frees it. Engines call these around non-shared runs, which
+// reset caches and accounting, so such runs cannot overlap with anything.
 func (cl *Cluster) AcquireRun() { cl.runMu.Lock() }
 
 // ReleaseRun releases the run lock taken by AcquireRun.
 func (cl *Cluster) ReleaseRun() { cl.runMu.Unlock() }
+
+// AcquireShared joins the cluster as one of several concurrent queries
+// (engine.Request.Shared): caches are left warm, counters accumulate, and
+// any number of shared runs may overlap. An exclusive run blocks until all
+// shared runs finish, and vice versa.
+func (cl *Cluster) AcquireShared() { cl.runMu.RLock() }
+
+// ReleaseShared releases the hold taken by AcquireShared.
+func (cl *Cluster) ReleaseShared() { cl.runMu.RUnlock() }
+
+// FlightStats aggregates the fetch-deduplication counters across compute
+// nodes since the last Reset.
+func (cl *Cluster) FlightStats() cache.FlightStats {
+	var total cache.FlightStats
+	for _, cn := range cl.Compute {
+		s := cn.Flight.Stats()
+		total.Leads += s.Leads
+		total.Shared += s.Shared
+	}
+	return total
+}
 
 // Reset clears caches, counters and throttle backlogs between experiment
 // runs, without touching stored data.
@@ -326,6 +399,7 @@ func (cl *Cluster) Reset() {
 		cn.NIC.Throttle().Reset()
 		cn.Cache.Clear()
 		cn.Cache.ResetStats()
+		cn.Flight.ResetStats()
 		cn.CPU.Reset()
 	}
 	if cl.nfsRead != nil {

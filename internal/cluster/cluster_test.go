@@ -159,7 +159,7 @@ func TestShipAndReset(t *testing.T) {
 		t.Errorf("ship recv = %d", got)
 	}
 	st, _ := cl.Fetch(0, tuple.ID{Table: ds.Left.ID, Chunk: 0}, nil)
-	cl.Compute[0].Cache.Put(st.ID, st, int64(st.Bytes()))
+	cl.Compute[0].Cache.Put(FetchKey{ID: st.ID}, st, int64(st.Bytes()))
 	cl.Reset()
 	tr := cl.Traffic()
 	if tr != (Traffic{}) {

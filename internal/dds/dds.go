@@ -7,6 +7,7 @@
 package dds
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -152,7 +153,7 @@ func ScanTable(cl *cluster.Cluster, table string, preds []query.Pred, proj []str
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[i], errs[i] = cl.FetchProjected(i%nj, id, &filter, proj)
+			parts[i], errs[i] = cl.FetchProjected(context.Background(), i%nj, id, &filter, proj)
 		}(i, d.ID())
 	}
 	wg.Wait()

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,6 +45,12 @@ type Request struct {
 	// Trace, when non-nil, records per-operation execution events
 	// (fetches, builds, probes, spills) for offline analysis.
 	Trace *trace.Recorder
+	// Shared runs the query without exclusive ownership of the cluster:
+	// no state reset at start, shared sub-table caches, and concurrent
+	// execution alongside other shared queries. The concurrent query
+	// service sets this; Result.Traffic and Result.Cache then report
+	// cumulative cluster counters rather than this query's share.
+	Shared bool
 }
 
 // Validate checks the request.
@@ -132,7 +139,12 @@ func ProjectedSchema(schema tuple.Schema, project []string) tuple.Schema {
 type Engine interface {
 	// Name returns the engine identifier ("ij" or "gh").
 	Name() string
-	// Run executes the request. Implementations reset cluster accounting
+	// Run executes the request. Non-shared runs reset cluster accounting
 	// at start so Result.Traffic covers exactly this run.
 	Run(cl *cluster.Cluster, req Request) (*Result, error)
+	// RunContext is Run observing ctx: engines check it between work
+	// items (edges, chunks, buckets) and propagate it into sub-table
+	// fetches, so a cancelled or deadline-expired query returns ctx.Err()
+	// mid-join instead of running to completion.
+	RunContext(ctx context.Context, cl *cluster.Cluster, req Request) (*Result, error)
 }

@@ -16,8 +16,10 @@
 package gh
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciview/internal/cluster"
@@ -90,8 +92,18 @@ func h3(key, salt uint64) uint64 {
 	return h2(key ^ (salt+1)*0x9E3779B97F4A7C15)
 }
 
+// runSeq distinguishes the scratch-disk namespaces of concurrent shared
+// runs: two queries spilling on the same joiner must not append to the
+// same bucket objects.
+var runSeq atomic.Int64
+
 // Run implements engine.Engine.
 func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
+	return e.RunContext(context.Background(), cl, req)
+}
+
+// RunContext implements engine.Engine.
+func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,9 +133,17 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 	leftSchema := engine.ProjectedSchema(leftDef.Schema, project)
 	rightSchema := engine.ProjectedSchema(rightDef.Schema, project)
 
-	cl.AcquireRun()
-	defer cl.ReleaseRun()
-	cl.Reset()
+	if req.Shared {
+		cl.AcquireShared()
+		defer cl.ReleaseShared()
+	} else {
+		cl.AcquireRun()
+		defer cl.ReleaseRun()
+		cl.Reset()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 
 	buckets := e.Buckets
@@ -131,14 +151,15 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 		buckets = e.defaultBuckets(cl, leftDef, rightDef, req)
 	}
 
+	run := runSeq.Add(1)
 	nj := len(cl.Compute)
 	// Per-joiner partitioners for each side.
 	leftParts := make([]*partitioner, nj)
 	rightParts := make([]*partitioner, nj)
 	for j := 0; j < nj; j++ {
-		leftParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/j%d/L", j),
+		leftParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/r%d/j%d/L", run, j),
 			leftSchema, buckets, flushRows)
-		rightParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/j%d/R", j),
+		rightParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/r%d/j%d/R", run, j),
 			rightSchema, buckets, flushRows)
 		leftParts[j].node = fmt.Sprintf("joiner-%d", j)
 		rightParts[j].node = leftParts[j].node
@@ -148,10 +169,10 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 
 	// Phase 1: partition the left table, then the right table.
 	partStart := time.Now()
-	if err := e.partitionTable(cl, req.LeftTable, leftFilter, project, req.JoinAttrs, batchRows, leftParts, req.Trace); err != nil {
+	if err := e.partitionTable(ctx, cl, req.LeftTable, leftFilter, project, req.JoinAttrs, batchRows, leftParts, req.Trace); err != nil {
 		return nil, err
 	}
-	if err := e.partitionTable(cl, req.RightTable, rightFilter, project, req.JoinAttrs, batchRows, rightParts, req.Trace); err != nil {
+	if err := e.partitionTable(ctx, cl, req.RightTable, rightFilter, project, req.JoinAttrs, batchRows, rightParts, req.Trace); err != nil {
 		return nil, err
 	}
 	// Flush residual bucket buffers — on every joiner's scratch disk in
@@ -188,7 +209,7 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			results[j], errs[j] = e.joinBuckets(cl.Compute[j], leftParts[j], rightParts[j],
+			results[j], errs[j] = e.joinBuckets(ctx, cl.Compute[j], leftParts[j], rightParts[j],
 				req, wf, buckets, outSchema, &stats)
 		}(j)
 	}
@@ -247,7 +268,7 @@ func (e *Engine) defaultBuckets(cl *cluster.Cluster, leftDef, rightDef *metadata
 // parallel: scan local matching sub-tables, split records by h1 into
 // per-joiner batches, ship each batch and hand it to the joiner's
 // partitioner.
-func (e *Engine) partitionTable(cl *cluster.Cluster, table string, filter metadata.Range,
+func (e *Engine) partitionTable(ctx context.Context, cl *cluster.Cluster, table string, filter metadata.Range,
 	project, joinAttrs []string, batchRows int, parts []*partitioner, rec *trace.Recorder) error {
 
 	nj := len(parts)
@@ -270,6 +291,10 @@ func (e *Engine) partitionTable(cl *cluster.Cluster, table string, filter metada
 			row := make([]float32, 0, 32)
 			node := fmt.Sprintf("storage-%d", s)
 			for _, d := range descs {
+				if err := ctx.Err(); err != nil {
+					errs[s] = err
+					return
+				}
 				fetchStart := time.Now()
 				st, err := sn.BDS.SubTableProjected(d.ID(), &filter, project)
 				if err != nil {
@@ -435,11 +460,14 @@ func (p *partitioner) deleteBucket(k int) error {
 }
 
 // joinBuckets is phase 2 for one joiner: join bucket pairs independently.
-func (e *Engine) joinBuckets(cn *cluster.ComputeNode, lp, rp *partitioner, req engine.Request,
+func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, lp, rp *partitioner, req engine.Request,
 	wf, buckets int, outSchema tuple.Schema, stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
 	out := tuple.NewSubTable(tuple.ID{Table: -2, Chunk: -1}, outSchema, 0)
 	for k := 0; k < buckets; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if lp.rows[k] == 0 || rp.rows[k] == 0 {
 			// An empty side produces nothing; skip reading the other.
 			continue

@@ -11,6 +11,7 @@
 package ij
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -87,6 +88,12 @@ type edge struct {
 
 // Run implements engine.Engine.
 func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
+	return e.RunContext(context.Background(), cl, req)
+}
+
+// RunContext implements engine.Engine. Cancellation is observed between
+// scheduled edges and inside sub-table fetches.
+func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine.Request) (*engine.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,9 +112,17 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 	leftFilter := engineFilterFor(leftDef, req.Filter)
 	rightFilter := engineFilterFor(rightDef, req.Filter)
 
-	cl.AcquireRun()
-	defer cl.ReleaseRun()
-	cl.Reset()
+	if req.Shared {
+		cl.AcquireShared()
+		defer cl.ReleaseShared()
+	} else {
+		cl.AcquireRun()
+		defer cl.ReleaseRun()
+		cl.Reset()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 
 	// Consult the (pre-computable) page-level join index: resolve in-range
@@ -140,7 +155,7 @@ func (e *Engine) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, e
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			results[j], errs[j] = e.runJoiner(cl, j, schedules[j], req, wf,
+			results[j], errs[j] = e.runJoiner(ctx, cl, j, schedules[j], req, wf,
 				leftFilter, rightFilter, project, outSchema, &stats)
 		}(j)
 	}
@@ -238,20 +253,25 @@ func (e *Engine) buildSchedules(comps []congraph.Component, leftDescs, rightDesc
 }
 
 // runJoiner executes one compute node's schedule.
-func (e *Engine) runJoiner(cl *cluster.Cluster, j int, sched []edge, req engine.Request,
+func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, j int, sched []edge, req engine.Request,
 	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
 	stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
 	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(j)}, outSchema, 0)
 	cn := cl.Compute[j]
 	node := fmt.Sprintf("joiner-%d", j)
+	leftSig := cluster.Signature(&leftFilter, project)
+	rightSig := cluster.Signature(&rightFilter, project)
 	var (
 		ht     *hashjoin.HashTable
 		htLeft tuple.ID
 		haveHT bool
 	)
 	for _, ed := range sched {
-		left, err := e.cachedFetch(cl, j, node, ed.left, &leftFilter, project, req.Trace)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		left, err := e.cachedFetch(ctx, cl, j, node, ed.left, leftSig, &leftFilter, project, req.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -266,7 +286,7 @@ func (e *Engine) runJoiner(cl *cluster.Cluster, j int, sched []edge, req engine.
 			req.Trace.Span(node, trace.KindBuild, ed.left.String(), start,
 				int64(left.Bytes()), int64(left.NumRows()))
 		}
-		right, err := e.cachedFetch(cl, j, node, ed.right, &rightFilter, project, req.Trace)
+		right, err := e.cachedFetch(ctx, cl, j, node, ed.right, rightSig, &rightFilter, project, req.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -285,20 +305,35 @@ func (e *Engine) runJoiner(cl *cluster.Cluster, j int, sched []edge, req engine.
 }
 
 // cachedFetch consults the joiner's Caching Service before asking the
-// owning BDS instance for the sub-table.
-func (e *Engine) cachedFetch(cl *cluster.Cluster, j int, node string, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
-	c := cl.Compute[j].Cache
-	if st, ok := c.Get(id); ok {
+// owning BDS instance for the sub-table. Concurrent misses on one key —
+// several shared queries needing the same sub-table at once — collapse
+// into a single BDS fetch through the node's Flight deduplicator.
+func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, id tuple.ID, sig uint64, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
+	cn := cl.Compute[j]
+	key := cluster.FetchKey{ID: id, Sig: sig}
+	if st, ok := cn.Cache.Get(key); ok {
 		return st, nil
 	}
-	start := time.Now()
-	st, err := cl.FetchProjected(j, id, filter, project)
-	if err != nil {
-		return nil, err
-	}
-	rec.Span(node, trace.KindFetch, id.String(), start, int64(st.Bytes()), int64(st.NumRows()))
-	c.Put(id, st, int64(st.Bytes()))
-	return st, nil
+	st, _, err := cn.Flight.Do(ctx, key, func() (*tuple.SubTable, error) {
+		// Another query may have populated the cache while this caller
+		// was queued behind a leader that then failed or was cancelled.
+		// (Contains first: a stat-free check, so the common path's
+		// miss accounting stays one-miss-per-fetch.)
+		if cn.Cache.Contains(key) {
+			if st, ok := cn.Cache.Get(key); ok {
+				return st, nil
+			}
+		}
+		start := time.Now()
+		st, err := cl.FetchProjected(ctx, j, id, filter, project)
+		if err != nil {
+			return nil, err
+		}
+		rec.Span(node, trace.KindFetch, id.String(), start, int64(st.Bytes()), int64(st.NumRows()))
+		cn.Cache.Put(key, st, int64(st.Bytes()))
+		return st, nil
+	})
+	return st, err
 }
 
 // engineFilterFor keeps only the constraints naming attributes of def's

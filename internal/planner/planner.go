@@ -6,6 +6,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 
 	"sciview/internal/cluster"
@@ -154,11 +155,16 @@ func (p *Planner) Choose(cl *cluster.Cluster, req engine.Request) (engine.Engine
 
 // Run chooses an engine and executes the request.
 func (p *Planner) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, *Decision, error) {
+	return p.RunContext(context.Background(), cl, req)
+}
+
+// RunContext is Run observing ctx through the chosen engine.
+func (p *Planner) RunContext(ctx context.Context, cl *cluster.Cluster, req engine.Request) (*engine.Result, *Decision, error) {
 	eng, d, err := p.Choose(cl, req)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := eng.Run(cl, req)
+	res, err := eng.RunContext(ctx, cl, req)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,376 @@
+// Package service implements the concurrent query service: a
+// multi-client execution layer above the two Query Execution Systems.
+// Callers submit join-view requests from any number of goroutines; the
+// service plans each one (choosing IJ or GH by the cost models), holds it
+// in a priority/FIFO admission queue until capacity is available, and runs
+// it in shared mode — no cluster reset, caches kept warm across queries,
+// and concurrent sub-table fetches for the same data collapsed into one
+// BDS transfer by the per-node singleflight groups.
+//
+// Admission is governed by two limits: a maximum number of in-flight
+// queries, and a memory budget charged per query with a cost-model-derived
+// working-set estimate (build side plus one streaming sub-table per
+// joiner). A query whose estimate exceeds the whole budget is clamped to
+// it, so oversized queries still run — alone. Cancellation is first-class:
+// a context cancelled while queued removes the entry immediately; one
+// cancelled while running propagates through the engine's fetch path and
+// frees the slot for the next waiter.
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sciview/internal/cache"
+	"sciview/internal/cluster"
+	"sciview/internal/costmodel"
+	"sciview/internal/engine"
+	"sciview/internal/planner"
+	"sciview/internal/trace"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrClosed reports a submission to (or drained out of) a closed
+	// service.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull reports that the admission queue is at MaxQueue.
+	ErrQueueFull = errors.New("service: queue full")
+)
+
+// Config tunes the admission controller.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (0 = default 4).
+	MaxInFlight int
+	// MemoryBudget bounds the summed working-set estimates of in-flight
+	// queries, in bytes (0 = unlimited). A single query estimated above
+	// the budget is clamped to it and therefore admitted only when
+	// nothing else is running.
+	MemoryBudget int64
+	// MaxQueue bounds waiting submissions; excess ones fail fast with
+	// ErrQueueFull (0 = unlimited).
+	MaxQueue int
+	// Force overrides the planner's engine choice: "", "ij" or "gh".
+	Force string
+	// AlphaBuild and AlphaLookup preset the cost-model CPU constants;
+	// zero triggers a one-time calibration in New.
+	AlphaBuild  float64
+	AlphaLookup float64
+}
+
+// Query is one submission.
+type Query struct {
+	Req engine.Request
+	// Priority orders waiting queries: higher runs sooner; ties are FIFO.
+	Priority int
+}
+
+// Response reports one executed query.
+type Response struct {
+	Result   *engine.Result
+	Decision *planner.Decision
+	// QueueWait is the time spent in the admission queue.
+	QueueWait time.Duration
+	// Weight is the working-set estimate charged against the budget.
+	Weight int64
+}
+
+// Stats is the service-level accounting snapshot.
+type Stats struct {
+	Submitted int64 // accepted into the queue
+	Admitted  int64 // dispatched to an engine
+	Rejected  int64 // refused: queue full or service closed
+	Cancelled int64 // context ended while queued or running
+	Completed int64
+	Failed    int64 // engine error other than cancellation
+
+	QueuePeak    int // max queue length observed
+	InFlightPeak int // max concurrent queries observed
+
+	// QueueWait accumulates admission waits of admitted queries.
+	QueueWait time.Duration
+
+	// Dedup aggregates the compute nodes' singleflight counters: Leads
+	// is actual BDS fetches led, Shared is fetches satisfied by joining
+	// another query's in-flight fetch.
+	Dedup cache.FlightStats
+}
+
+// Service is a running concurrent query service over one cluster.
+type Service struct {
+	cl  *cluster.Cluster
+	pl  *planner.Planner
+	cfg Config
+
+	mu       sync.Mutex
+	drained  *sync.Cond // signaled when inflight drops to zero
+	queue    waiterHeap
+	seq      int64
+	inflight int
+	memUsed  int64
+	closed   bool
+	stats    Stats
+}
+
+// New assembles a service over a cluster. The cost-model CPU constants
+// are calibrated once here (unless preset in cfg), so concurrent Submits
+// never race on planner state.
+func New(cl *cluster.Cluster, cfg Config) *Service {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.AlphaBuild <= 0 || cfg.AlphaLookup <= 0 {
+		cfg.AlphaBuild, cfg.AlphaLookup = costmodel.Calibrate(1 << 16)
+	}
+	pl := planner.New()
+	pl.AlphaBuild = cfg.AlphaBuild
+	pl.AlphaLookup = cfg.AlphaLookup
+	pl.Force = cfg.Force
+	s := &Service{cl: cl, pl: pl, cfg: cfg}
+	s.drained = sync.NewCond(&s.mu)
+	return s
+}
+
+// Submit plans, queues and executes one query, blocking until it
+// completes, fails, or ctx ends. It is safe for any number of concurrent
+// callers. The request is always run in shared mode; Result.Traffic and
+// Result.Cache therefore report cumulative cluster counters.
+func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
+	eng, dec, err := s.pl.Choose(s.cl, q.Req)
+	if err != nil {
+		return nil, err
+	}
+	w := &waiter{
+		pri:    q.Priority,
+		weight: s.weightFor(dec.Params),
+		ready:  make(chan struct{}),
+	}
+	enqueued := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	w.seq = s.seq
+	heap.Push(&s.queue, w)
+	s.stats.Submitted++
+	if n := s.queue.Len(); n > s.stats.QueuePeak {
+		s.stats.QueuePeak = n
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil { // drained out of the queue by Close
+			return nil, w.err
+		}
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !w.admitted && w.err == nil {
+			heap.Remove(&s.queue, w.index)
+			s.stats.Cancelled++
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.mu.Unlock()
+		// Admission (or a Close rejection) raced the cancellation; the
+		// ready channel is closed (or about to be).
+		<-w.ready
+		if w.err != nil {
+			return nil, w.err
+		}
+		s.finish(w, time.Since(enqueued), ctx.Err())
+		return nil, ctx.Err()
+	}
+
+	queueWait := time.Since(enqueued)
+	req := q.Req
+	req.Shared = true
+	req.Trace.Span("service", trace.KindQueue, eng.Name(), enqueued, w.weight, 0)
+	runStart := time.Now()
+	res, err := eng.RunContext(ctx, s.cl, req)
+	s.finish(w, queueWait, err)
+	if err != nil {
+		return nil, err
+	}
+	req.Trace.Span("service", trace.KindQuery, eng.Name(), runStart, 0, res.Tuples)
+	return &Response{
+		Result:    res,
+		Decision:  dec,
+		QueueWait: queueWait,
+		Weight:    w.weight,
+	}, nil
+}
+
+// weightFor estimates a query's resident working set from the cost-model
+// parameters: the build (left) side, which IJ caches and GH buffers
+// across the cluster, plus one streaming right sub-table per joiner. The
+// estimate is clamped to the budget so an oversized query can still run —
+// by itself.
+func (s *Service) weightFor(p costmodel.Params) int64 {
+	w := p.T*int64(p.RSR) + int64(p.Nj)*p.CS*int64(p.RSS)
+	if w < 1 {
+		w = 1
+	}
+	if s.cfg.MemoryBudget > 0 && w > s.cfg.MemoryBudget {
+		w = s.cfg.MemoryBudget
+	}
+	return w
+}
+
+// dispatchLocked admits queued queries while capacity allows. Caller
+// holds s.mu.
+func (s *Service) dispatchLocked() {
+	for s.queue.Len() > 0 {
+		if s.inflight >= s.cfg.MaxInFlight {
+			return
+		}
+		w := s.queue[0]
+		if s.cfg.MemoryBudget > 0 && s.inflight > 0 && s.memUsed+w.weight > s.cfg.MemoryBudget {
+			return
+		}
+		heap.Pop(&s.queue)
+		w.admitted = true
+		s.inflight++
+		s.memUsed += w.weight
+		s.stats.Admitted++
+		if s.inflight > s.stats.InFlightPeak {
+			s.stats.InFlightPeak = s.inflight
+		}
+		close(w.ready)
+	}
+}
+
+// finish releases an admitted query's slot and dispatches successors.
+func (s *Service) finish(w *waiter, queueWait time.Duration, err error) {
+	s.mu.Lock()
+	s.inflight--
+	s.memUsed -= w.weight
+	s.stats.QueueWait += queueWait
+	switch {
+	case err == nil:
+		s.stats.Completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.stats.Cancelled++
+	default:
+		s.stats.Failed++
+	}
+	s.dispatchLocked()
+	if s.inflight == 0 {
+		s.drained.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the service counters, including the cluster's fetch
+// deduplication totals.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.Dedup = s.cl.FlightStats()
+	return st
+}
+
+// InFlight reports the number of currently executing queries.
+func (s *Service) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// QueueLen reports the number of queries waiting for admission.
+func (s *Service) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// Close drains the service: new submissions are refused, queries still
+// waiting for admission fail with ErrClosed, and Close blocks until every
+// in-flight query has finished. It is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		for s.queue.Len() > 0 {
+			w := heap.Pop(&s.queue).(*waiter)
+			w.err = ErrClosed
+			s.stats.Rejected++
+			close(w.ready)
+		}
+	}
+	for s.inflight > 0 {
+		s.drained.Wait()
+	}
+	return nil
+}
+
+// String renders a one-line stats summary.
+func (st Stats) String() string {
+	total := st.Dedup.Leads + st.Dedup.Shared
+	dedup := 0.0
+	if total > 0 {
+		dedup = float64(st.Dedup.Shared) / float64(total)
+	}
+	return fmt.Sprintf(
+		"submitted %d admitted %d completed %d failed %d cancelled %d rejected %d | queue peak %d inflight peak %d wait %v | fetch dedup %.0f%% (%d shared / %d led)",
+		st.Submitted, st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected,
+		st.QueuePeak, st.InFlightPeak, st.QueueWait.Round(time.Millisecond),
+		dedup*100, st.Dedup.Shared, st.Dedup.Leads)
+}
+
+// waiter is one queued submission.
+type waiter struct {
+	pri      int
+	seq      int64
+	weight   int64
+	ready    chan struct{}
+	err      error // set before close(ready) when rejected by Close
+	admitted bool
+	index    int // heap position, for mid-queue removal on cancellation
+}
+
+// waiterHeap orders by priority (higher first), then FIFO by sequence.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}

@@ -27,6 +27,12 @@ const (
 	KindBucketRead Kind = "bucketread" // GH bucket read back
 )
 
+// Event kinds emitted by the concurrent query service.
+const (
+	KindQueue Kind = "queue" // admission wait: submit → dispatch
+	KindQuery Kind = "query" // one admitted query's execution
+)
+
 // Event is one recorded span.
 type Event struct {
 	Node   string // owning node, e.g. "joiner-2" or "storage-0"

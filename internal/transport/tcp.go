@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is a Transport over real TCP sockets on the loopback (or any)
@@ -50,6 +52,18 @@ func (t *TCP) Serve(service string, h Handler) (io.Closer, error) {
 	return t.ServeAddr(service, "127.0.0.1:0", h)
 }
 
+// tcpServer tracks one service's listener and live connections so Close
+// can drain gracefully: stop accepting, let requests already being handled
+// finish (their responses are written), then tear the connections down.
+type tcpServer struct {
+	ln   net.Listener
+	h    Handler
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	done chan struct{}
+	open map[net.Conn]struct{}
+}
+
 // ServeAddr is Serve with an explicit listen address.
 func (t *TCP) ServeAddr(service, addr string, h Handler) (io.Closer, error) {
 	t.mu.Lock()
@@ -65,52 +79,98 @@ func (t *TCP) ServeAddr(service, addr string, h Handler) (io.Closer, error) {
 	t.addrs[service] = ln.Addr().String()
 	t.mu.Unlock()
 
-	var wg sync.WaitGroup
-	done := make(chan struct{})
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				select {
-				case <-done:
-					return
-				default:
-					// Transient accept failure; keep serving.
-					continue
-				}
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				serveConn(conn, h)
-			}()
-		}
-	}()
+	srv := &tcpServer{
+		ln:   ln,
+		h:    h,
+		done: make(chan struct{}),
+		open: make(map[net.Conn]struct{}),
+	}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
 	return closerFunc(func() error {
-		close(done)
-		err := ln.Close()
+		err := srv.shutdown()
 		t.mu.Lock()
 		delete(t.addrs, service)
 		t.mu.Unlock()
-		wg.Wait()
 		return err
 	}), nil
 }
 
-func serveConn(conn net.Conn, h Handler) {
-	defer conn.Close()
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept failure; keep serving.
+				continue
+			}
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.open[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.open, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	for {
 		method, payload, err := readRequest(conn)
 		if err != nil {
-			return // client closed or framing error: drop the connection
+			return // client closed, shutdown nudge, or framing error
 		}
-		resp, herr := h(method, payload)
+		resp, herr := s.h(method, payload)
 		if werr := writeResponse(conn, resp, herr); werr != nil {
 			return
 		}
+		select {
+		case <-s.done:
+			return // drained: the in-flight request got its response
+		default:
+		}
 	}
+}
+
+// shutdown drains the server: stop accepting, unblock connections idle in
+// a read (an expired read deadline fails only the pending read — a handler
+// mid-request still writes its response), then wait for every connection
+// goroutine to finish its current exchange and exit.
+func (s *tcpServer) shutdown() error {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return nil
+	default:
+	}
+	close(s.done)
+	err := s.ln.Close()
+	for conn := range s.open {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 func readRequest(r io.Reader) (string, []byte, error) {
@@ -201,24 +261,84 @@ func DialAddr(service, addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q at %s: %w", service, addr, err)
 	}
-	return &tcpConn{service: service, conn: c}, nil
+	return &tcpConn{service: service, addr: addr, conn: c}, nil
 }
 
 type tcpConn struct {
 	service string
+	addr    string
 	mu      sync.Mutex // serializes request/response pairs on the socket
-	conn    net.Conn
+	conn    net.Conn   // nil after a mid-exchange abort; redialed lazily
+	closed  bool
 }
 
 func (c *tcpConn) Call(method string, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), method, payload)
+}
+
+// CallContext performs one request/response exchange observing ctx. A
+// context deadline is armed as a socket deadline before the exchange; a
+// cancellation mid-exchange trips the socket immediately via an expired
+// deadline. Either way the call returns ctx.Err() instead of hanging.
+// Because an aborted exchange leaves the stream mid-frame, the underlying
+// socket is then discarded and transparently redialed on the next call.
+func (c *tcpConn) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.closed {
+		return nil, fmt.Errorf("transport: %s: connection closed", c.service)
+	}
+	if c.conn == nil { // reconnect after an aborted exchange
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: redial %q at %s: %w", c.service, c.addr, err)
+		}
+		c.conn = conn
+	}
+
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	// A cancellation (as opposed to a deadline) must also unblock socket
+	// I/O: watch ctx for the duration of the exchange and trip the socket
+	// by expiring its deadline.
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			c.conn.SetDeadline(time.Now())
+		case <-watchStop:
+		}
+	}()
+	finish := func(err error) error {
+		close(watchStop)
+		<-watchDone
+		if cerr := ctx.Err(); cerr != nil {
+			// The stream may be mid-frame: poison this socket and let the
+			// next call redial.
+			c.conn.Close()
+			c.conn = nil
+			return cerr
+		}
+		return err
+	}
+
 	if err := writeRequest(c.conn, method, payload); err != nil {
-		return nil, fmt.Errorf("transport: sending %s.%s: %w", c.service, method, err)
+		return nil, fmt.Errorf("transport: sending %s.%s: %w", c.service, method, finish(err))
 	}
 	body, isErr, err := readResponse(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("transport: receiving %s.%s: %w", c.service, method, err)
+		return nil, fmt.Errorf("transport: receiving %s.%s: %w", c.service, method, finish(err))
+	}
+	if err := finish(nil); err != nil {
+		return nil, err
 	}
 	if isErr {
 		return nil, &RemoteError{Service: c.service, Method: method, Msg: string(body)}
@@ -226,4 +346,14 @@ func (c *tcpConn) Call(method string, payload []byte) ([]byte, error) {
 	return body, nil
 }
 
-func (c *tcpConn) Close() error { return c.conn.Close() }
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

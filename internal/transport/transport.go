@@ -8,6 +8,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,12 @@ type Handler func(method string, payload []byte) ([]byte, error)
 type Conn interface {
 	// Call sends a request and waits for the response.
 	Call(method string, payload []byte) ([]byte, error)
+	// CallContext is Call observing ctx: it returns ctx.Err() instead of
+	// blocking past cancellation or a deadline. Implementations abort the
+	// in-flight exchange as promptly as their substrate allows (the TCP
+	// transport arms socket deadlines; the in-process transport checks
+	// around the handler, which runs in the caller's goroutine).
+	CallContext(ctx context.Context, method string, payload []byte) ([]byte, error)
 	io.Closer
 }
 
@@ -95,6 +102,13 @@ type inprocConn struct {
 }
 
 func (c *inprocConn) Call(method string, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), method, payload)
+}
+
+func (c *inprocConn) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.t.mu.RLock()
 	h, ok := c.t.services[c.service]
 	c.t.mu.RUnlock()
@@ -102,6 +116,11 @@ func (c *inprocConn) Call(method string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownService, c.service)
 	}
 	resp, err := h(method, payload)
+	if cerr := ctx.Err(); cerr != nil {
+		// The handler ran in our goroutine; a cancellation that raced it
+		// still wins, matching the TCP transport's behaviour.
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, &RemoteError{Service: c.service, Method: method, Msg: err.Error()}
 	}

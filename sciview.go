@@ -88,6 +88,11 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 // Close releases the system's network resources (TCP mode only).
 func (s *System) Close() error { return s.cluster.Close() }
 
+// Cluster exposes the underlying emulated cluster, so in-module tools can
+// layer additional services (e.g. the concurrent query service) over a
+// System's platform.
+func (s *System) Cluster() *cluster.Cluster { return s.cluster }
+
 // EnableTrace turns on per-operation execution tracing for subsequent join
 // queries; TraceSummary reads and clears the collected events.
 func (s *System) EnableTrace() {

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository health check: build, vet, full test suite, then the race
+# detector over the concurrency-sensitive packages (query service, cache +
+# singleflight, transport, cluster) and the root short-mode service bench.
+# Mirrors `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (service, cache, transport, cluster)"
+go test -race -count=1 ./internal/service ./internal/cache ./internal/transport ./internal/cluster
+
+echo "== go test -race -short (root service bench)"
+go test -race -short -count=1 -run TestServiceBenchShort .
+
+echo "OK"

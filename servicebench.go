@@ -1,0 +1,155 @@
+package sciview
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sciview/internal/engine"
+	"sciview/internal/service"
+)
+
+// ServiceBenchSpec configures the closed-loop multi-client benchmark of
+// the concurrent query service: Concurrency workers each submit the same
+// join-view query back-to-back for Duration, exercising admission
+// control, shared caches and the fetch deduplicator under load.
+type ServiceBenchSpec struct {
+	// Concurrency is the number of closed-loop clients (default 8).
+	Concurrency int
+	// Duration bounds the measurement window (default 5s).
+	Duration time.Duration
+	// MaxInFlight is the service's execution-slot count (default =
+	// Concurrency); MemoryBudget is its working-set budget (0 =
+	// unlimited).
+	MaxInFlight  int
+	MemoryBudget int64
+	// StorageNodes/ComputeNodes size the emulated cluster (default 4/4).
+	StorageNodes int
+	ComputeNodes int
+	// Engine forces "ij" or "gh" ("" = cost-model choice).
+	Engine string
+	// Seed varies the dataset (default 2006).
+	Seed int64
+}
+
+// ServiceBenchResult reports one benchmark run.
+type ServiceBenchResult struct {
+	Queries    int64
+	Throughput float64 // completed queries per second
+	LatMean    time.Duration
+	LatP50     time.Duration
+	LatP95     time.Duration
+	LatMax     time.Duration
+	QueueMean  time.Duration
+	Stats      service.Stats
+}
+
+// RunServiceBench generates a mid-size dataset, stands up the concurrent
+// query service over an unthrottled cluster, and drives it closed-loop.
+func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, error) {
+	if spec.Concurrency <= 0 {
+		spec.Concurrency = 8
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 5 * time.Second
+	}
+	if spec.MaxInFlight <= 0 {
+		spec.MaxInFlight = spec.Concurrency
+	}
+	if spec.StorageNodes <= 0 {
+		spec.StorageNodes = 4
+	}
+	if spec.ComputeNodes <= 0 {
+		spec.ComputeNodes = 4
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 2006
+	}
+	ds, err := GenerateOilReservoir(OilReservoirSpec{
+		Grid:         Dims{X: 32, Y: 32, Z: 16},
+		LeftPart:     Dims{X: 8, Y: 8, Z: 8},
+		RightPart:    Dims{X: 8, Y: 8, Z: 8},
+		StorageNodes: spec.StorageNodes,
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes})
+	if err != nil {
+		return nil, err
+	}
+	svc := service.New(sys.Cluster(), service.Config{
+		MaxInFlight:  spec.MaxInFlight,
+		MemoryBudget: spec.MemoryBudget,
+		Force:        spec.Engine,
+	})
+	defer svc.Close()
+
+	query := service.Query{Req: engine.Request{
+		LeftTable: "T1", RightTable: "T2", JoinAttrs: []string{"x", "y", "z"},
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Duration)
+	defer cancel()
+
+	var mu sync.Mutex
+	var lats, waits []time.Duration
+	var wg sync.WaitGroup
+	for c := 0; c < spec.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := time.Now()
+				resp, err := svc.Submit(ctx, query)
+				if err != nil {
+					return // window closed mid-query
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(start))
+				waits = append(waits, resp.QueueWait)
+				mu.Unlock()
+			}
+		}()
+	}
+	benchStart := time.Now()
+	wg.Wait()
+	elapsed := time.Since(benchStart)
+
+	res := &ServiceBenchResult{Queries: int64(len(lats)), Stats: svc.Stats()}
+	if len(lats) > 0 {
+		res.Throughput = float64(len(lats)) / elapsed.Seconds()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum, wsum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		for _, qw := range waits {
+			wsum += qw
+		}
+		res.LatMean = sum / time.Duration(len(lats))
+		res.LatP50 = lats[len(lats)/2]
+		res.LatP95 = lats[len(lats)*95/100]
+		res.LatMax = lats[len(lats)-1]
+		res.QueueMean = wsum / time.Duration(len(waits))
+	}
+	if w != nil {
+		res.Print(w, spec)
+	}
+	return res, nil
+}
+
+// Print renders the result as aligned text.
+func (r *ServiceBenchResult) Print(w io.Writer, spec ServiceBenchSpec) {
+	fmt.Fprintf(w, "service bench: %d clients, %d slots, %v window\n",
+		spec.Concurrency, spec.MaxInFlight, spec.Duration)
+	fmt.Fprintf(w, "  completed   %d queries (%.1f q/s)\n", r.Queries, r.Throughput)
+	fmt.Fprintf(w, "  latency     mean %v  p50 %v  p95 %v  max %v\n",
+		r.LatMean.Round(time.Microsecond), r.LatP50.Round(time.Microsecond),
+		r.LatP95.Round(time.Microsecond), r.LatMax.Round(time.Microsecond))
+	fmt.Fprintf(w, "  queue wait  mean %v\n", r.QueueMean.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %s\n", r.Stats)
+}
