@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race chaos check bench clean
 
 all: check
 
@@ -20,7 +20,13 @@ race:
 	$(GO) test -race -count=1 ./internal/service ./internal/cache ./internal/transport ./internal/cluster
 	$(GO) test -race -short -count=1 -run TestServiceBenchShort .
 
-check: build vet test race
+# The fault-injection matrix (drop/delay/crash × IJ/GH) plus the recovery
+# building blocks, all under the race detector: chaos recovery paths are
+# where concurrent state transitions hide.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
+
+check: build vet test race chaos
 
 bench:
 	$(GO) test -bench=Fig -benchtime=1x ./...

@@ -41,6 +41,8 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "service execution slots (default = -concurrency)")
 		memBudget   = flag.Int64("mem-budget", 0, "service working-set budget in bytes (0 = unlimited)")
 		forceEngine = flag.String("engine", "", "force engine for -concurrency: ij or gh")
+		replicas    = flag.Int("replicas", 1, "chunk copies across storage nodes for -concurrency (enables failover)")
+		faults      = flag.String("faults", "", "chaos schedule for -concurrency, e.g. crash:storage-1:fetch:20 (see internal/fault)")
 	)
 	flag.Parse()
 	if *concurrency > 0 {
@@ -53,6 +55,8 @@ func main() {
 			ComputeNodes: *compute,
 			Engine:       *forceEngine,
 			Seed:         *seed,
+			Replicas:     *replicas,
+			Faults:       *faults,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)
 		}

@@ -42,6 +42,7 @@ func main() {
 		format   = flag.String("format", "rowmajor", "chunk layout: rowmajor, colmajor or csv")
 		seed     = flag.Int64("seed", 2006, "measure-value seed")
 		measures = flag.Int("measures", 1, "scalar attributes per table (record = 3 coords + measures)")
+		replicas = flag.Int("replicas", 1, "placements per chunk (clamped to -nodes; R>=2 survives R-1 storage failures)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -63,6 +64,7 @@ func main() {
 	spec := sciview.OilReservoirSpec{
 		Grid: g, LeftPart: p, RightPart: q,
 		StorageNodes: *nodes, Format: *format, Seed: *seed,
+		Replicas: *replicas,
 	}
 	if *measures > 1 {
 		spec.LeftMeasures = []string{"oilp"}

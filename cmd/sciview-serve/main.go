@@ -53,6 +53,7 @@ func main() {
 		memBudget   = flag.Int64("mem-budget", 0, "working-set budget across in-flight queries in bytes (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
 		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
+		faults      = flag.String("faults", "", "chaos schedule, e.g. crash:storage-1:fetch:20,delay:compute-0:write:2:5ms")
 		// Client mode.
 		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
 		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
@@ -84,6 +85,7 @@ func main() {
 		DiskReadBw:   *diskBw,
 		DiskWriteBw:  *diskBw,
 		NetBw:        *netBw,
+		Faults:       *faults,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -60,6 +60,15 @@ type Dataset struct {
 // StorageNodes returns the number of storage nodes the dataset spans.
 func (d *Dataset) StorageNodes() int { return len(d.stores) }
 
+// Replicate raises every chunk to `copies` total placements (primary
+// included), copying chunk bytes to the following nodes round-robin and
+// registering the placements with the MetaData Service. copies is clamped
+// to the node count; values < 2 are a no-op. With R copies, fetches
+// survive R−1 storage-node failures.
+func (d *Dataset) Replicate(copies int) error {
+	return oilres.Replicate(d.catalog, d.stores, copies)
+}
+
 // Tables returns the names of the dataset's virtual tables.
 func (d *Dataset) Tables() []string {
 	defs := d.catalog.Tables()
@@ -94,6 +103,10 @@ type OilReservoirSpec struct {
 	StorageNodes  int      // default 1
 	Format        string   // chunk layout: "rowmajor" (default), "colmajor", "csv"
 	Seed          int64
+	// Replicas is the total number of placements per chunk (primary
+	// included), clamped to StorageNodes; < 2 means no replication. With
+	// R ≥ 2 the cluster's fetch path survives R−1 storage-node failures.
+	Replicas int
 }
 
 // GenerateOilReservoir builds the synthetic dataset in memory.
@@ -109,6 +122,7 @@ func GenerateOilReservoir(spec OilReservoirSpec) (*Dataset, error) {
 		StorageNodes:  spec.StorageNodes,
 		Format:        spec.Format,
 		Seed:          spec.Seed,
+		Replicas:      spec.Replicas,
 	})
 	if err != nil {
 		return nil, err

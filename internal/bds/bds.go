@@ -62,10 +62,13 @@ func (s *Service) SubTableProjected(id tuple.ID, filter *metadata.Range, project
 	if err != nil {
 		return nil, fmt.Errorf("bds: node %d: %w", s.node, err)
 	}
-	if desc.Node != s.node {
-		return nil, fmt.Errorf("bds: chunk %v lives on node %d, not node %d", id, desc.Node, s.node)
+	// Serve from whichever copy this node holds: the primary placement or
+	// a replica written during dataset loading.
+	object, offset, ok := desc.Locate(s.node)
+	if !ok {
+		return nil, fmt.Errorf("bds: chunk %v has no copy on node %d (primary is node %d)", id, s.node, desc.Node)
 	}
-	data, err := s.disk.ReadRange(desc.Object, desc.Offset, desc.Size)
+	data, err := s.disk.ReadRange(object, offset, desc.Size)
 	if err != nil {
 		return nil, fmt.Errorf("bds: node %d reading chunk %v: %w", s.node, id, err)
 	}

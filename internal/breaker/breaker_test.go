@@ -1,0 +1,148 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTest(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := New(threshold, cooldown)
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+func TestTripAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTest(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after 3 failures, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow() = true while Open before cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", b.Trips())
+	}
+}
+
+func TestSuccessResetsStreak(t *testing.T) {
+	b, _ := newTest(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestHalfOpenProbeClaimedOnce(t *testing.T) {
+	b, clk := newTest(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("allowed while open")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown expired, probe not admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller stole the probe")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("probe success did not close the breaker")
+	}
+}
+
+func TestProbeFailureReopens(t *testing.T) {
+	b, clk := newTest(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("allowed immediately after failed probe (cooldown must restart)")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips() = %d, want 2", b.Trips())
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted after fresh cooldown")
+	}
+}
+
+func TestReadyHasNoSideEffects(t *testing.T) {
+	b, clk := newTest(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Ready() {
+		t.Fatal("Ready() = false after cooldown")
+	}
+	if b.State() != Open {
+		t.Fatalf("Ready mutated state to %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe not available after Ready()")
+	}
+}
+
+func TestConcurrentProbeRace(t *testing.T) {
+	b, clk := newTest(1, time.Millisecond)
+	b.Failure()
+	clk.advance(time.Millisecond)
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("admitted = %d probes, want exactly 1", admitted)
+	}
+}

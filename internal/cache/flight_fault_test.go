@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sciview/internal/transport"
+)
+
+// TestFlightLeaderHandoffOnRetryableFailure pins the failover contract the
+// cluster relies on: when a leader's fetch dies with a transient fault, a
+// queued waiter is not poisoned with the error — it retries, becomes the
+// next leader, and succeeds, costing exactly one extra transfer.
+func TestFlightLeaderHandoffOnRetryableFailure(t *testing.T) {
+	f := NewFlight[string, int]()
+	f.Retryable = transport.IsRetryable
+
+	var loads atomic.Int64
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "st", func() (int, error) {
+			loads.Add(1)
+			close(leaderIn)
+			<-release
+			return 0, fmt.Errorf("injected fetch fault: %w", transport.ErrUnavailable)
+		})
+		leaderErr <- err
+	}()
+	<-leaderIn // the leader is mid-fetch
+
+	type outcome struct {
+		val    int
+		shared bool
+		err    error
+	}
+	waiter := make(chan outcome, 1)
+	go func() {
+		v, shared, err := f.Do(context.Background(), "st", func() (int, error) {
+			loads.Add(1)
+			return 42, nil
+		})
+		waiter <- outcome{v, shared, err}
+	}()
+	// Give the waiter time to queue behind the in-flight call, then fail
+	// the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, transport.ErrUnavailable) {
+		t.Errorf("leader error = %v, want the injected fault", err)
+	}
+	got := <-waiter
+	if got.err != nil || got.val != 42 {
+		t.Fatalf("waiter got (%d, %v), want (42, nil)", got.val, got.err)
+	}
+	if got.shared {
+		t.Error("waiter reported a dedup hit; it should have led its own retry")
+	}
+	if n := loads.Load(); n != 2 {
+		t.Errorf("loads = %d, want exactly 2 (the failed leader plus one retry)", n)
+	}
+}
+
+// TestFlightTerminalFailureIsShared is the counterpart: a terminal error
+// (the handler executed and refused) propagates to every waiter without
+// extra transfers.
+func TestFlightTerminalFailureIsShared(t *testing.T) {
+	f := NewFlight[string, int]()
+	f.Retryable = transport.IsRetryable
+
+	var loads atomic.Int64
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	terminal := &transport.RemoteError{Service: "bds-0", Method: "subtable", Msg: "no such chunk"}
+	go func() {
+		f.Do(context.Background(), "st", func() (int, error) {
+			loads.Add(1)
+			close(leaderIn)
+			<-release
+			return 0, terminal
+		})
+	}()
+	<-leaderIn
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "st", func() (int, error) {
+			loads.Add(1)
+			return 42, nil
+		})
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	var re *transport.RemoteError
+	if err := <-waiterErr; !errors.As(err, &re) {
+		t.Errorf("waiter error = %v, want the leader's terminal error", err)
+	}
+	if n := loads.Load(); n != 1 {
+		t.Errorf("loads = %d, want 1 (terminal errors are shared, not retried)", n)
+	}
+}

@@ -18,6 +18,13 @@ import (
 // waiters: each waiter whose own context is still live retries and may
 // become the next leader. Only genuine load errors are shared.
 type Flight[K comparable, V any] struct {
+	// Retryable, when set, extends the leader-handoff rule beyond context
+	// errors: a leader failure it classifies as transient (e.g. an
+	// injected fetch fault) is not shared with waiters — each live waiter
+	// retries the load itself and may become the next leader. Set it
+	// before the Flight is in use; it is read concurrently afterwards.
+	Retryable func(error) bool
+
 	mu    sync.Mutex
 	calls map[K]*flightCall[V]
 
@@ -55,9 +62,10 @@ func (f *Flight[K, V]) Do(ctx context.Context, key K, load func() (V, error)) (V
 			case <-ctx.Done():
 				return zero, false, ctx.Err()
 			}
-			if c.err != nil && isContextErr(c.err) {
-				// The leader's query died for its own reasons; this
-				// caller is still live, so try again (and possibly lead).
+			if c.err != nil && (isContextErr(c.err) || (f.Retryable != nil && f.Retryable(c.err))) {
+				// The leader's query died for its own reasons (context) or
+				// hit a transient fault; this caller is still live, so try
+				// again (and possibly lead).
 				continue
 			}
 			f.mu.Lock()

@@ -1,0 +1,8 @@
+// Package chaos holds the fault-injection test matrix: end-to-end runs of
+// both Query Execution Systems under deterministic schedules of dropped,
+// delayed and crashed operations (internal/fault), asserting that replica
+// failover, retry/backoff, circuit breakers and engine-level recovery
+// deliver results identical to a fault-free run. The package has no
+// non-test code; it exists so the matrix can exercise ij, gh, cluster and
+// fault together without creating import cycles in any of them.
+package chaos

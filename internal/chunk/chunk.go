@@ -41,10 +41,47 @@ type Desc struct {
 	Rows int
 	// Bounds is the chunk's bounding box over Attrs, in schema order.
 	Bounds bbox.Box
+	// Replicas are additional placements of the same bytes on other
+	// storage nodes, for failover when Node is unreachable. The primary
+	// placement (Node/Object/Offset) is not repeated here.
+	Replicas []Replica
+}
+
+// Replica is one extra placement of a chunk: the same encoded bytes stored
+// under a (possibly different) object name and offset on another node.
+type Replica struct {
+	Node   int
+	Object string
+	Offset int64
 }
 
 // ID returns the sub-table identifier of the chunk.
 func (d *Desc) ID() tuple.ID { return tuple.ID{Table: d.Table, Chunk: d.Chunk} }
+
+// Nodes returns every storage node holding a copy of the chunk, primary
+// first, replicas in registration order.
+func (d *Desc) Nodes() []int {
+	nodes := make([]int, 0, 1+len(d.Replicas))
+	nodes = append(nodes, d.Node)
+	for _, r := range d.Replicas {
+		nodes = append(nodes, r.Node)
+	}
+	return nodes
+}
+
+// Locate returns the object and offset of the chunk's copy on the given
+// node, or ok=false if that node holds no copy.
+func (d *Desc) Locate(node int) (object string, offset int64, ok bool) {
+	if node == d.Node {
+		return d.Object, d.Offset, true
+	}
+	for _, r := range d.Replicas {
+		if r.Node == node {
+			return r.Object, r.Offset, true
+		}
+	}
+	return "", 0, false
+}
 
 // Schema returns the chunk's schema.
 func (d *Desc) Schema() tuple.Schema { return tuple.Schema{Attrs: d.Attrs} }

@@ -24,8 +24,11 @@ import (
 	"time"
 
 	"sciview/internal/bds"
+	"sciview/internal/breaker"
 	"sciview/internal/cache"
+	"sciview/internal/fault"
 	"sciview/internal/metadata"
+	"sciview/internal/retry"
 	"sciview/internal/simio"
 	"sciview/internal/transport"
 	"sciview/internal/tuple"
@@ -69,6 +72,18 @@ type Config struct {
 	// and all), instead of in-process calls. Modeled bandwidths still
 	// apply on top. Close the cluster when done.
 	UseTCP bool
+	// Faults, when set, injects the chaos schedule into the cluster:
+	// sub-table fetches, disk and scratch I/O, and (with UseTCP) transport
+	// exchanges all consult it. Nil means no injection.
+	Faults *fault.Injector
+	// Retry is the per-replica fetch backoff policy. The zero value means
+	// retry.Default() (3 attempts, 1ms base, 50ms cap, 0.5 jitter).
+	Retry retry.Policy
+	// BreakerThreshold and BreakerCooldown configure the per-storage-node
+	// circuit breakers: trip after BreakerThreshold consecutive failures
+	// (default 3), probe after BreakerCooldown (default 100ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // Validate checks the configuration.
@@ -184,6 +199,13 @@ type Cluster struct {
 	// request/response pairs internally.
 	servers []io.Closer
 	clients [][]*bds.Client // [computeID][storageNode]
+
+	// breakers holds one circuit breaker per storage node; the fetch path
+	// consults them before dialing and feeds outcomes back.
+	breakers []*breaker.Breaker
+	// Health accumulates fault-tolerance counters (retries, failovers,
+	// engine recoveries); see HealthStats.
+	Health Health
 }
 
 // New assembles a cluster over the given catalog and per-storage-node
@@ -214,6 +236,10 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 			disk = simio.NewDisk(stores[i], cfg.DiskReadBw, cfg.DiskWriteBw)
 		}
 		disk.Owner = i
+		if cfg.Faults != nil {
+			node := fault.StorageNode(i)
+			disk.Fault = func(op string) error { return cfg.Faults.Op(node, op) }
+		}
 		sn := &StorageNode{
 			ID:   i,
 			Disk: disk,
@@ -221,6 +247,7 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 			BDS:  bds.New(i, catalog, disk),
 		}
 		cl.Storage = append(cl.Storage, sn)
+		cl.breakers = append(cl.breakers, breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown))
 	}
 	for j := 0; j < cfg.ComputeNodes; j++ {
 		var scratch *simio.Disk
@@ -230,6 +257,10 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 			scratch = simio.NewDisk(simio.NewMemStore(), cfg.DiskReadBw, cfg.DiskWriteBw)
 		}
 		scratch.Owner = cfg.StorageNodes + j
+		if cfg.Faults != nil {
+			node := fault.ComputeNode(j)
+			scratch.Fault = func(op string) error { return cfg.Faults.Op(node, op) }
+		}
 		var cpuRate float64
 		if cfg.CPUSecPerOp > 0 {
 			cpuRate = 1 / cfg.CPUSecPerOp // "ops per second"
@@ -238,12 +269,16 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		if err != nil {
 			return nil, err
 		}
+		flight := cache.NewFlight[FetchKey, *tuple.SubTable]()
+		// A leader whose fetch hits a transient fault hands the key off:
+		// waiters retry (and fail over) rather than inherit the error.
+		flight.Retryable = transport.IsRetryable
 		cn := &ComputeNode{
 			ID:      j,
 			Scratch: scratch,
 			NIC:     simio.NewNIC(cfg.NetBw, nil),
 			Cache:   nodeCache,
-			Flight:  cache.NewFlight[FetchKey, *tuple.SubTable](),
+			Flight:  flight,
 			CPU:     simio.NewThrottle(cpuRate),
 		}
 		cl.Compute = append(cl.Compute, cn)
@@ -258,9 +293,13 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 }
 
 // wireTCP serves every BDS over TCP loopback and connects each compute
-// node to each storage node.
+// node to each storage node. With fault injection configured, every
+// client-side exchange passes through the chaos schedule first.
 func (cl *Cluster) wireTCP() error {
-	tr := transport.NewTCP()
+	var tr transport.Transport = transport.NewTCP()
+	if cl.Config.Faults != nil {
+		tr = transport.NewFaulty(tr, cl.Config.Faults)
+	}
 	for _, sn := range cl.Storage {
 		closer, err := sn.BDS.Serve(tr)
 		if err != nil {
@@ -318,6 +357,11 @@ func (cl *Cluster) Fetch(computeID int, id tuple.ID, filter *metadata.Range) (*t
 // transfer. The fetch observes ctx: a cancelled or expired context aborts
 // the TCP exchange (when the cluster is wired over sockets) and returns
 // ctx.Err() rather than completing the transfer.
+//
+// Transient faults are retried with exponential backoff; when a replica
+// node's attempts are exhausted (or its breaker is open) the fetch fails
+// over to the chunk's next replica. Terminal errors — a *RemoteError, a
+// cancelled context — abort immediately.
 func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -326,23 +370,19 @@ func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.I
 	if err != nil {
 		return nil, err
 	}
-	if desc.Node < 0 || desc.Node >= len(cl.Storage) {
-		return nil, fmt.Errorf("cluster: chunk %v on unknown node %d", id, desc.Node)
-	}
 	if computeID < 0 || computeID >= len(cl.Compute) {
 		return nil, fmt.Errorf("cluster: unknown compute node %d", computeID)
 	}
-	sn := cl.Storage[desc.Node]
-	var st *tuple.SubTable
-	if cl.clients != nil {
-		st, err = cl.clients[computeID][desc.Node].SubTableProjected(ctx, id, filter, project)
-	} else {
-		st, err = sn.BDS.SubTableProjected(id, filter, project)
-	}
+	st, node, err := cl.replicaFailover(ctx, desc, func(node int) (*tuple.SubTable, error) {
+		if cl.clients != nil {
+			return cl.clients[computeID][node].SubTableProjected(ctx, id, filter, project)
+		}
+		return cl.Storage[node].BDS.SubTableProjected(id, filter, project)
+	})
 	if err != nil {
 		return nil, err
 	}
-	simio.Transfer(sn.NIC, cl.Compute[computeID].NIC, int64(st.Bytes()))
+	simio.Transfer(cl.Storage[node].NIC, cl.Compute[computeID].NIC, int64(st.Bytes()))
 	return st, nil
 }
 
@@ -408,6 +448,10 @@ func (cl *Cluster) Reset() {
 	if cl.nfsWrite != nil {
 		cl.nfsWrite.Reset()
 	}
+	cl.Health.Retries.Store(0)
+	cl.Health.Failovers.Store(0)
+	cl.Health.Recoveries.Store(0)
+	cl.Health.Rebuilds.Store(0)
 }
 
 // Traffic aggregates byte counters across the cluster.

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sciview/internal/breaker"
+	"sciview/internal/chunk"
+	"sciview/internal/fault"
+	"sciview/internal/metadata"
+	"sciview/internal/retry"
+	"sciview/internal/transport"
+	"sciview/internal/tuple"
+)
+
+// Health accumulates the cluster's fault-tolerance activity. Fields are
+// incremented atomically by the fetch path and the recovering engines.
+type Health struct {
+	// Retries counts backoff re-attempts against the same replica.
+	Retries atomic.Int64
+	// Failovers counts fetches redirected to a subsequent replica.
+	Failovers atomic.Int64
+	// Recoveries counts engine-level re-executions after a compute-node
+	// death (IJ schedule slots, GH partition groups).
+	Recoveries atomic.Int64
+	// Rebuilds counts GH partition groups rebuilt from replicas after
+	// their partitions were lost with a node.
+	Rebuilds atomic.Int64
+}
+
+// HealthStats is a point-in-time copy of Health plus the breaker trip
+// total, the shape surfaced through the service stats RPC.
+type HealthStats struct {
+	Retries      int64
+	Failovers    int64
+	BreakerTrips int64
+	Recoveries   int64
+	Rebuilds     int64
+}
+
+// Add accumulates other into h (merging stats across services).
+func (h *HealthStats) Add(other HealthStats) {
+	h.Retries += other.Retries
+	h.Failovers += other.Failovers
+	h.BreakerTrips += other.BreakerTrips
+	h.Recoveries += other.Recoveries
+	h.Rebuilds += other.Rebuilds
+}
+
+// Zero reports whether no fault-tolerance activity was recorded.
+func (h HealthStats) Zero() bool { return h == HealthStats{} }
+
+// HealthStats snapshots the cluster's fault-tolerance counters.
+func (cl *Cluster) HealthStats() HealthStats {
+	hs := HealthStats{
+		Retries:    cl.Health.Retries.Load(),
+		Failovers:  cl.Health.Failovers.Load(),
+		Recoveries: cl.Health.Recoveries.Load(),
+		Rebuilds:   cl.Health.Rebuilds.Load(),
+	}
+	for _, br := range cl.breakers {
+		hs.BreakerTrips += br.Trips()
+	}
+	return hs
+}
+
+// StorageBreaker exposes storage node i's circuit breaker (planner checks,
+// tests).
+func (cl *Cluster) StorageBreaker(i int) *breaker.Breaker { return cl.breakers[i] }
+
+// ComputeDown reports whether the chaos schedule has crashed compute node
+// j. Without an injector every node is alive.
+func (cl *Cluster) ComputeDown(j int) bool {
+	return cl.Config.Faults.Down(fault.ComputeNode(j))
+}
+
+// AliveCompute returns the ids of compute nodes not crashed, in order.
+func (cl *Cluster) AliveCompute() []int {
+	var alive []int
+	for j := range cl.Compute {
+		if !cl.ComputeDown(j) {
+			alive = append(alive, j)
+		}
+	}
+	return alive
+}
+
+// errBreakerOpen marks a replica skipped because its breaker refused the
+// call. It wraps ErrUnavailable so callers classify it as a transient
+// fault, but the retry loop treats it as final for that node — backing off
+// against an open breaker is pointless; the next replica is the answer.
+var errBreakerOpen = fmt.Errorf("cluster: breaker open: %w", transport.ErrUnavailable)
+
+// replicaFailover runs try against each node holding a copy of desc, in
+// replica order, until one succeeds. Per node it applies the retry policy
+// (with deterministic jitter keyed to the chunk and node), consults and
+// feeds the node's breaker, and counts ops against the chaos schedule.
+// It returns the sub-table and the node that served it.
+func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try func(node int) (*tuple.SubTable, error)) (*tuple.SubTable, int, error) {
+	nodes := desc.Nodes()
+	id := desc.ID()
+	var lastErr error
+	for i, node := range nodes {
+		if node < 0 || node >= len(cl.Storage) {
+			lastErr = fmt.Errorf("cluster: chunk %v replica on unknown node %d", id, node)
+			continue
+		}
+		if i > 0 {
+			cl.Health.Failovers.Add(1)
+		}
+		br := cl.breakers[node]
+		p := cl.Config.Retry
+		// Decorrelate jitter across chunks and replicas while keeping the
+		// schedule deterministic for a given (policy seed, chunk, node).
+		p.Seed ^= uint64(id.Table)<<40 ^ uint64(uint32(id.Chunk))<<8 ^ uint64(node)
+		p.Retryable = func(err error) bool {
+			return !errors.Is(err, errBreakerOpen) && transport.IsRetryable(err)
+		}
+		var st *tuple.SubTable
+		err := retry.Do(ctx, p, func(attempt int) error {
+			if attempt > 0 {
+				cl.Health.Retries.Add(1)
+			}
+			if !br.Allow() {
+				return fmt.Errorf("storage node %d: %w", node, errBreakerOpen)
+			}
+			if ferr := cl.Config.Faults.Op(fault.StorageNode(node), fault.OpFetch); ferr != nil {
+				br.Failure()
+				return ferr
+			}
+			got, ferr := try(node)
+			if ferr != nil {
+				if transport.IsRetryable(ferr) {
+					br.Failure()
+				}
+				return ferr
+			}
+			br.Success()
+			st = got
+			return nil
+		})
+		if err == nil {
+			return st, node, nil
+		}
+		lastErr = err
+		if !transport.IsRetryable(err) {
+			// Terminal: the handler executed and refused (RemoteError), or
+			// the caller's context died. No replica can change the answer.
+			return nil, -1, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: chunk %v has no replicas", id)
+	}
+	return nil, -1, fmt.Errorf("cluster: chunk %v: all %d replicas failed: %w", id, len(nodes), lastErr)
+}
+
+// ScanChunk reads, extracts, filters and projects one chunk storage-side
+// for the Grace Hash partitioning scan, failing over to replica-holding
+// nodes when the preferred one is unreachable. Unlike FetchProjected it
+// pays no compute-NIC transfer — the partitioner ships its routed batches
+// separately — and it returns the node that actually served the chunk so
+// shipping is attributed to the right NIC.
+func (cl *Cluster) ScanChunk(ctx context.Context, desc *chunk.Desc, filter *metadata.Range, project []string) (*tuple.SubTable, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, -1, err
+	}
+	return cl.replicaFailover(ctx, desc, func(node int) (*tuple.SubTable, error) {
+		return cl.Storage[node].BDS.SubTableProjected(desc.ID(), filter, project)
+	})
+}

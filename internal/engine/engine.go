@@ -89,6 +89,10 @@ type Result struct {
 	Cache cache.Stats
 	// Traffic is the cluster byte accounting for the run.
 	Traffic cluster.Traffic
+	// Health is the cluster's fault-tolerance accounting (retries,
+	// failovers, breaker trips, recoveries). For shared runs the counters
+	// are cumulative across the queries sharing the cluster.
+	Health cluster.HealthStats
 	// Collected holds per-joiner result sub-tables when Request.Collect.
 	Collected []*tuple.SubTable
 	// Phases records coarse phase durations (engine-specific keys, e.g.

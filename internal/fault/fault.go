@@ -1,0 +1,321 @@
+// Package fault is the chaos-injection harness: a deterministic, seeded
+// schedule of drops, delays, error returns and whole-node crashes that the
+// emulated cluster consults at its I/O points (sub-table fetches, disk and
+// scratch operations, transport calls, join steps). Because rules fire on
+// per-rule operation counts rather than wall-clock time, a chaos test's
+// fault pattern is reproducible run to run, and the recovery machinery —
+// retries, replica failover, circuit breakers, engine-level rebuilds — can
+// be asserted against exact outcomes.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sciview/internal/transport"
+)
+
+// Node names follow the cluster's convention: "storage-<i>" for storage
+// nodes, "compute-<j>" for compute nodes.
+
+// StorageNode and ComputeNode render cluster node ids in the injector's
+// naming scheme.
+func StorageNode(i int) string { return fmt.Sprintf("storage-%d", i) }
+
+// ComputeNode renders a compute node id.
+func ComputeNode(j int) string { return fmt.Sprintf("compute-%d", j) }
+
+// Operation names the injector recognizes. "*" in a rule matches any.
+const (
+	OpFetch = "fetch" // one BDS sub-table request (per attempt)
+	OpRead  = "read"  // disk or scratch read
+	OpWrite = "write" // disk or scratch write
+	OpEdge  = "edge"  // one IJ scheduled edge
+	OpCall  = "call"  // one transport exchange
+)
+
+// Action is what a rule does when it fires.
+type Action int
+
+const (
+	// Crash takes the node down permanently once the rule's operation
+	// count reaches After. Every subsequent operation on the node fails
+	// with a *NodeDownError.
+	Crash Action = iota
+	// Drop fails every Every-th matching operation with a retryable
+	// (ErrUnavailable-wrapped) error.
+	Drop
+	// Delay stalls every Every-th matching operation by Delay.
+	Delay
+)
+
+func (a Action) String() string {
+	switch a {
+	case Crash:
+		return "crash"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Rule is one entry of the fault schedule.
+type Rule struct {
+	Node   string // "storage-0", "compute-1", or "*"
+	Op     string // OpFetch, OpRead, ... or "*"
+	Action Action
+	// After fires a Crash when the rule's matched-operation count reaches
+	// this value (1-based).
+	After int64
+	// Every fires a Drop or Delay on every Every-th matched operation.
+	Every int64
+	// Delay is the injected stall of a Delay rule.
+	Delay time.Duration
+}
+
+func (r Rule) matches(node, op string) bool {
+	return (r.Node == "*" || r.Node == node) && (r.Op == "*" || r.Op == op)
+}
+
+// NodeDownError reports an operation on a crashed node.
+type NodeDownError struct {
+	Node string
+}
+
+func (e *NodeDownError) Error() string { return fmt.Sprintf("fault: node %s is down", e.Node) }
+
+// Unwrap classifies a dead node as unavailable, so the retry/failover
+// layer treats it as a retryable I/O fault (and fails over to replicas).
+func (e *NodeDownError) Unwrap() error { return transport.ErrUnavailable }
+
+// IsNodeDown reports whether err is (or wraps) a NodeDownError, returning
+// the node name.
+func IsNodeDown(err error) (string, bool) {
+	var nd *NodeDownError
+	if errors.As(err, &nd) {
+		return nd.Node, true
+	}
+	return "", false
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Drops   int64
+	Delays  int64
+	Crashes int64
+}
+
+// Injector applies a fault schedule. All methods are safe for concurrent
+// use. The zero value (and a nil *Injector) is a no-op injector that
+// never fails anything.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	counts []int64 // per-rule matched-operation counters
+	down   map[string]bool
+	stats  Stats
+}
+
+// New returns an injector applying the given schedule.
+func New(rules ...Rule) *Injector {
+	return &Injector{
+		rules:  rules,
+		counts: make([]int64, len(rules)),
+		down:   make(map[string]bool),
+	}
+}
+
+// Parse builds an injector from a comma-separated schedule spec (the
+// -faults flag syntax). Clauses:
+//
+//	crash:<node>:<op>:<n>        node crashes at its n-th matching op
+//	drop:<node>:<op>:<n>         every n-th matching op fails (retryable)
+//	delay:<node>:<op>:<n>:<dur>  every n-th matching op stalls dur
+//
+// <node> is storage-<i>, compute-<j> or *; <op> is fetch, read, write,
+// edge, call or *. An empty spec yields a no-op injector.
+func Parse(spec string) (*Injector, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		f := strings.Split(clause, ":")
+		if len(f) < 4 {
+			return nil, fmt.Errorf("fault: clause %q: want kind:node:op:n", clause)
+		}
+		n, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fault: clause %q: bad count %q", clause, f[3])
+		}
+		r := Rule{Node: f[1], Op: f[2]}
+		switch f[0] {
+		case "crash":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("fault: clause %q: crash takes 4 fields", clause)
+			}
+			r.Action, r.After = Crash, n
+		case "drop":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("fault: clause %q: drop takes 4 fields", clause)
+			}
+			r.Action, r.Every = Drop, n
+		case "delay":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("fault: clause %q: delay takes 5 fields", clause)
+			}
+			d, err := time.ParseDuration(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %v", clause, err)
+			}
+			r.Action, r.Every, r.Delay = Delay, n, d
+		default:
+			return nil, fmt.Errorf("fault: clause %q: unknown kind %q", clause, f[0])
+		}
+		rules = append(rules, r)
+	}
+	return New(rules...), nil
+}
+
+// Op records one operation on a node and applies the schedule: it returns
+// a *NodeDownError if the node is (or just became) down, an injected drop
+// error, or nil after any injected delay has elapsed. A nil injector
+// returns nil.
+func (in *Injector) Op(node, op string) error {
+	delay, err := in.apply(node, op)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// apply is Op without the sleep: it returns the delay for the caller to
+// serve (the transport hook wants the delay before the exchange).
+func (in *Injector) apply(node, op string) (time.Duration, error) {
+	if in == nil {
+		return 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.down[node] {
+		return 0, &NodeDownError{Node: node}
+	}
+	var delay time.Duration
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(node, op) {
+			continue
+		}
+		in.counts[i]++
+		switch r.Action {
+		case Crash:
+			if in.counts[i] >= r.After {
+				in.down[node] = true
+				in.stats.Crashes++
+				return delay, &NodeDownError{Node: node}
+			}
+		case Drop:
+			if r.Every > 0 && in.counts[i]%r.Every == 0 {
+				in.stats.Drops++
+				return delay, fmt.Errorf("fault: injected drop (%s/%s op %d): %w",
+					node, op, in.counts[i], transport.ErrUnavailable)
+			}
+		case Delay:
+			if r.Every > 0 && in.counts[i]%r.Every == 0 {
+				in.stats.Delays++
+				delay += r.Delay
+			}
+		}
+	}
+	return delay, nil
+}
+
+// Down reports whether a node has crashed. A nil injector reports false.
+func (in *Injector) Down(node string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.down[node]
+}
+
+// Kill crashes a node immediately (an explicit chaos action, outside any
+// counted rule).
+func (in *Injector) Kill(node string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.down[node] {
+		in.down[node] = true
+		in.stats.Crashes++
+	}
+}
+
+// Revive brings a crashed node back (for breaker half-open probe tests).
+// Its stored state is NOT restored — the cluster decides what a revived
+// node still holds.
+func (in *Injector) Revive(node string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.down, node)
+}
+
+// Downed returns the crashed nodes, unordered. Nil injector → nil.
+func (in *Injector) Downed() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []string
+	for n := range in.down {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Fault implements transport.FaultHook: transport calls count as OpCall
+// against the node owning the dialed service (bds-<i> → storage-<i>).
+// Unrecognized service names are passed through unfaulted.
+func (in *Injector) Fault(service, method string) (time.Duration, error) {
+	node := nodeOfService(service)
+	if node == "" || in == nil {
+		return 0, nil
+	}
+	return in.apply(node, OpCall)
+}
+
+// nodeOfService maps transport service names to injector node names.
+func nodeOfService(service string) string {
+	if rest, ok := strings.CutPrefix(service, "bds-"); ok {
+		return "storage-" + rest
+	}
+	return ""
+}
+
+// verify interface compliance.
+var _ transport.FaultHook = (*Injector)(nil)

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sciview/internal/transport"
+)
+
+func TestCrashAfterN(t *testing.T) {
+	in := New(Rule{Node: "storage-1", Op: OpFetch, Action: Crash, After: 3})
+	for i := 0; i < 2; i++ {
+		if err := in.Op("storage-1", OpFetch); err != nil {
+			t.Fatalf("op %d failed early: %v", i+1, err)
+		}
+	}
+	err := in.Op("storage-1", OpFetch)
+	node, ok := IsNodeDown(err)
+	if !ok || node != "storage-1" {
+		t.Fatalf("op 3: err = %v, want NodeDownError{storage-1}", err)
+	}
+	if !transport.IsRetryable(err) {
+		t.Fatal("node-down error must classify as retryable (failover target)")
+	}
+	if !in.Down("storage-1") {
+		t.Fatal("Down() = false after crash")
+	}
+	// Every later op fails too, and other nodes are unaffected.
+	if err := in.Op("storage-1", OpRead); err == nil {
+		t.Fatal("crashed node accepted a later op")
+	}
+	if err := in.Op("storage-0", OpFetch); err != nil {
+		t.Fatalf("healthy node faulted: %v", err)
+	}
+	if s := in.Stats(); s.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", s.Crashes)
+	}
+}
+
+func TestDropEveryN(t *testing.T) {
+	in := New(Rule{Node: "*", Op: OpFetch, Action: Drop, Every: 3})
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := in.Op("storage-0", OpFetch); err != nil {
+			failures++
+			if !errors.Is(err, transport.ErrUnavailable) {
+				t.Fatalf("drop error %v lacks ErrUnavailable", err)
+			}
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d over 9 ops with every=3, want 3", failures)
+	}
+	if s := in.Stats(); s.Drops != 3 {
+		t.Fatalf("Drops = %d, want 3", s.Drops)
+	}
+}
+
+func TestDelayEveryN(t *testing.T) {
+	in := New(Rule{Node: "compute-0", Op: OpWrite, Action: Delay, Every: 2, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := in.Op("compute-0", OpWrite); err != nil {
+			t.Fatalf("delay rule returned error: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("4 ops with every-2nd delayed 5ms took only %v", elapsed)
+	}
+	if s := in.Stats(); s.Delays != 2 {
+		t.Fatalf("Delays = %d, want 2", s.Delays)
+	}
+}
+
+func TestRuleScoping(t *testing.T) {
+	in := New(Rule{Node: "storage-0", Op: OpFetch, Action: Drop, Every: 1})
+	if err := in.Op("storage-0", OpRead); err != nil {
+		t.Fatalf("op outside rule scope faulted: %v", err)
+	}
+	if err := in.Op("storage-1", OpFetch); err != nil {
+		t.Fatalf("node outside rule scope faulted: %v", err)
+	}
+	if err := in.Op("storage-0", OpFetch); err == nil {
+		t.Fatal("matching op not dropped")
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	in := New()
+	in.Kill("compute-1")
+	if err := in.Op("compute-1", OpEdge); err == nil {
+		t.Fatal("killed node accepted op")
+	}
+	if got := in.Downed(); len(got) != 1 || got[0] != "compute-1" {
+		t.Fatalf("Downed() = %v, want [compute-1]", got)
+	}
+	in.Revive("compute-1")
+	if err := in.Op("compute-1", OpEdge); err != nil {
+		t.Fatalf("revived node still failing: %v", err)
+	}
+}
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Op("storage-0", OpFetch); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if in.Down("storage-0") {
+		t.Fatal("nil injector reports node down")
+	}
+	in.Kill("storage-0") // must not panic
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v", s)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("crash:storage-1:fetch:5, drop:*:call:7, delay:compute-0:write:2:3ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(in.rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(in.rules))
+	}
+	want := []Rule{
+		{Node: "storage-1", Op: "fetch", Action: Crash, After: 5},
+		{Node: "*", Op: "call", Action: Drop, Every: 7},
+		{Node: "compute-0", Op: "write", Action: Delay, Every: 2, Delay: 3 * time.Millisecond},
+	}
+	for i, w := range want {
+		if in.rules[i] != w {
+			t.Fatalf("rule %d = %+v, want %+v", i, in.rules[i], w)
+		}
+	}
+	if _, err := Parse(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{"boom:storage-0:fetch:1", "crash:storage-0:fetch", "drop:a:b:0", "delay:a:b:1:zz"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTransportHook(t *testing.T) {
+	in := New(Rule{Node: "storage-2", Op: OpCall, Action: Drop, Every: 1})
+	if _, err := in.Fault("bds-2", "subtable"); err == nil {
+		t.Fatal("bds-2 call not dropped")
+	}
+	if _, err := in.Fault("bds-0", "subtable"); err != nil {
+		t.Fatalf("bds-0 faulted: %v", err)
+	}
+	// Non-BDS services are outside the schedule's node namespace.
+	if _, err := in.Fault("query", "submit"); err != nil {
+		t.Fatalf("unrelated service faulted: %v", err)
+	}
+}
+
+func TestCrashDeterminism(t *testing.T) {
+	// Two injectors with the same schedule crash at the same op count.
+	mk := func() int {
+		in := New(Rule{Node: "storage-0", Op: OpFetch, Action: Crash, After: 7})
+		for i := 1; ; i++ {
+			if err := in.Op("storage-0", OpFetch); err != nil {
+				return i
+			}
+		}
+	}
+	if a, b := mk(), mk(); a != b || a != 7 {
+		t.Fatalf("crash points %d and %d, want both 7", a, b)
+	}
+}

@@ -22,8 +22,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sciview/internal/chunk"
 	"sciview/internal/cluster"
 	"sciview/internal/engine"
+	"sciview/internal/fault"
 	"sciview/internal/hashjoin"
 	"sciview/internal/metadata"
 	"sciview/internal/simio"
@@ -153,42 +155,42 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 
 	run := runSeq.Add(1)
 	nj := len(cl.Compute)
-	// Per-joiner partitioners for each side.
-	leftParts := make([]*partitioner, nj)
-	rightParts := make([]*partitioner, nj)
-	for j := 0; j < nj; j++ {
-		leftParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/r%d/j%d/L", run, j),
-			leftSchema, buckets, flushRows)
-		rightParts[j] = newPartitioner(cl.Compute[j].Scratch, fmt.Sprintf("gh/r%d/j%d/R", run, j),
-			rightSchema, buckets, flushRows)
-		leftParts[j].node = fmt.Sprintf("joiner-%d", j)
-		rightParts[j].node = leftParts[j].node
-		leftParts[j].rec = req.Trace
-		rightParts[j].rec = req.Trace
+	// One partition group per h1 class: all records with h1(key)%nj == g
+	// belong to group g, held by one (reassignable) executor node. The
+	// group — not the node — is the recovery unit: losing a node loses
+	// exactly its groups' partitions, which are rebuilt from replicas.
+	groups := make([]*group, nj)
+	for g := 0; g < nj; g++ {
+		groups[g] = &group{g: g, exec: g}
+		groups[g].mount(cl, run, leftSchema, rightSchema, buckets, flushRows, req.Trace)
+	}
+	sp := &scanParams{
+		leftTable: req.LeftTable, rightTable: req.RightTable,
+		leftFilter: leftFilter, rightFilter: rightFilter,
+		project: project, joinAttrs: req.JoinAttrs,
+		batchRows: batchRows, nj: nj, rec: req.Trace,
 	}
 
-	// Phase 1: partition the left table, then the right table.
+	// Phase 1: partition the left table, then the right table. A compute
+	// node dying here only marks its groups lost (their records stop
+	// shipping); phase 2 rebuilds them wholesale on survivors.
 	partStart := time.Now()
-	if err := e.partitionTable(ctx, cl, req.LeftTable, leftFilter, project, req.JoinAttrs, batchRows, leftParts, req.Trace); err != nil {
+	if err := e.scanTable(ctx, cl, sideLeft, groups, -1, sp); err != nil {
 		return nil, err
 	}
-	if err := e.partitionTable(ctx, cl, req.RightTable, rightFilter, project, req.JoinAttrs, batchRows, rightParts, req.Trace); err != nil {
+	if err := e.scanTable(ctx, cl, sideRight, groups, -1, sp); err != nil {
 		return nil, err
 	}
-	// Flush residual bucket buffers — on every joiner's scratch disk in
-	// parallel, as each joiner owns its disk.
+	// Flush residual bucket buffers — on every executor's scratch disk in
+	// parallel, as each executor owns its disk.
 	flushErrs := make([]error, nj)
 	var flushWG sync.WaitGroup
-	for j := 0; j < nj; j++ {
+	for g := 0; g < nj; g++ {
 		flushWG.Add(1)
-		go func(j int) {
+		go func(grp *group, idx int) {
 			defer flushWG.Done()
-			if err := leftParts[j].flushAll(); err != nil {
-				flushErrs[j] = err
-				return
-			}
-			flushErrs[j] = rightParts[j].flushAll()
-		}(j)
+			flushErrs[idx] = grp.flush()
+		}(groups[g], g)
 	}
 	flushWG.Wait()
 	for _, err := range flushErrs {
@@ -198,20 +200,24 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	}
 	partElapsed := time.Since(partStart)
 
-	// Phase 2: each joiner joins its bucket pairs independently.
+	// Phase 2: every group's bucket pairs join independently on its
+	// executor. A group lost in phase 1 — or whose executor dies mid-join —
+	// is rebuilt from replicas on a survivor and re-joined from scratch;
+	// per-attempt output and stats are discarded on failure, so recovered
+	// runs double-count nothing.
 	joinStart := time.Now()
 	outSchema := leftSchema.JoinResult(rightSchema, req.JoinAttrs, "r_")
 	var stats hashjoin.Stats
 	results := make([]*tuple.SubTable, nj)
 	errs := make([]error, nj)
 	var wg sync.WaitGroup
-	for j := 0; j < nj; j++ {
+	for g := 0; g < nj; g++ {
 		wg.Add(1)
-		go func(j int) {
+		go func(grp *group) {
 			defer wg.Done()
-			results[j], errs[j] = e.joinBuckets(ctx, cl.Compute[j], leftParts[j], rightParts[j],
-				req, wf, buckets, outSchema, &stats)
-		}(j)
+			results[grp.g], errs[grp.g] = e.runGroup(ctx, cl, grp, run,
+				leftSchema, rightSchema, buckets, flushRows, req, wf, outSchema, sp, &stats)
+		}(groups[g])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -230,6 +236,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 			Matches:      stats.Matches.Load(),
 		},
 		Traffic: cl.Traffic(),
+		Health:  cl.HealthStats(),
 		Phases: map[string]time.Duration{
 			"partition":  partElapsed,
 			"bucketjoin": joinElapsed,
@@ -264,51 +271,142 @@ func (e *Engine) defaultBuckets(cl *cluster.Cluster, leftDef, rightDef *metadata
 	return b
 }
 
-// partitionTable runs the storage-side QES instances for one table in
-// parallel: scan local matching sub-tables, split records by h1 into
-// per-joiner batches, ship each batch and hand it to the joiner's
-// partitioner.
-func (e *Engine) partitionTable(ctx context.Context, cl *cluster.Cluster, table string, filter metadata.Range,
-	project, joinAttrs []string, batchRows int, parts []*partitioner, rec *trace.Recorder) error {
+// group is one h1 partition class and the engine's recovery unit: every
+// record with h1(key)%nj == g funnels into group g's partitioner pair on
+// its executor node. When the executor dies, only this group's partitions
+// are lost; a survivor takes the group over and rebuilds them from
+// replicas under a fresh attempt-numbered scratch prefix.
+type group struct {
+	g       int
+	exec    int // current executor compute node
+	attempt int // increments per rebuild; namespaces scratch objects
+	lp, rp  *partitioner
+	// lost marks the group's partitions as gone (executor died while they
+	// were being written or read). Scanners stop shipping to a lost group;
+	// phase 2 rebuilds it before joining.
+	lost atomic.Bool
+}
 
-	nj := len(parts)
+// mount installs a fresh partitioner pair for the group's current
+// (exec, attempt) on the executor's scratch disk.
+func (grp *group) mount(cl *cluster.Cluster, run int64, leftSchema, rightSchema tuple.Schema,
+	buckets, flushRows int, rec *trace.Recorder) {
+	scratch := cl.Compute[grp.exec].Scratch
+	node := fmt.Sprintf("joiner-%d", grp.exec)
+	grp.lp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "L"), leftSchema, buckets, flushRows)
+	grp.rp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "R"), rightSchema, buckets, flushRows)
+	grp.lp.node, grp.rp.node = node, node
+	grp.lp.rec, grp.rp.rec = rec, rec
+}
+
+func groupPrefix(run int64, g, attempt int, side string) string {
+	return fmt.Sprintf("gh/r%d/g%da%d/%s", run, g, attempt, side)
+}
+
+// flush spills the group's residual buffers, downgrading an executor
+// death to a lost mark (phase 2 rebuilds) rather than a run failure.
+func (grp *group) flush() error {
+	if grp.lost.Load() {
+		return nil
+	}
+	err := grp.lp.flushAll()
+	if err == nil {
+		err = grp.rp.flushAll()
+	}
+	if err != nil {
+		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(grp.exec) {
+			grp.lost.Store(true)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// side selects a group's partitioner.
+type side int
+
+const (
+	sideLeft side = iota
+	sideRight
+)
+
+func (grp *group) part(sd side) *partitioner {
+	if sd == sideLeft {
+		return grp.lp
+	}
+	return grp.rp
+}
+
+// scanParams bundles the table-scan inputs shared by the initial
+// partitioning pass and per-group rebuilds.
+type scanParams struct {
+	leftTable, rightTable   string
+	leftFilter, rightFilter metadata.Range
+	project, joinAttrs      []string
+	batchRows               int
+	nj                      int // h1's range — fixed for the run, even when rebuilding one group
+	rec                     *trace.Recorder
+}
+
+func (sp *scanParams) table(sd side) (string, metadata.Range) {
+	if sd == sideLeft {
+		return sp.leftTable, sp.leftFilter
+	}
+	return sp.rightTable, sp.rightFilter
+}
+
+// scanTable runs the storage-side QES instances for one table in parallel:
+// scan the matching sub-tables (each chunk served by its primary node or,
+// when that node is unreachable, a replica), split records by h1 into
+// per-group batches, ship each batch and hand it to the group's
+// partitioner. With only >= 0, records of every other group are skipped —
+// the rebuild path re-materializing one lost group.
+func (e *Engine) scanTable(ctx context.Context, cl *cluster.Cluster, sd side, groups []*group, only int, sp *scanParams) error {
+	table, filter := sp.table(sd)
+	all, err := cl.Catalog.ChunksInRange(table, filter)
+	if err != nil {
+		return err
+	}
+	nj := sp.nj
 	errs := make([]error, len(cl.Storage))
 	var wg sync.WaitGroup
 	for s := range cl.Storage {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			sn := cl.Storage[s]
-			descs, err := sn.BDS.LocalChunks(table, filter)
-			if err != nil {
-				errs[s] = err
-				return
+		mine := make([]*chunk.Desc, 0, len(all)/len(cl.Storage)+1)
+		for _, d := range all {
+			if d.Node == s {
+				mine = append(mine, d)
 			}
-			// Per-joiner outgoing batches.
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, descs []*chunk.Desc) {
+			defer wg.Done()
+			// Per-group outgoing batches.
 			var schema tuple.Schema
 			batches := make([]*tuple.SubTable, nj)
 			var keyIdxs []int
-			row := make([]float32, 0, 32)
-			node := fmt.Sprintf("storage-%d", s)
+			var row []float32
+			src := s // node that served the latest chunk (ship attribution)
 			for _, d := range descs {
 				if err := ctx.Err(); err != nil {
 					errs[s] = err
 					return
 				}
 				fetchStart := time.Now()
-				st, err := sn.BDS.SubTableProjected(d.ID(), &filter, project)
+				st, served, err := cl.ScanChunk(ctx, d, &filter, sp.project)
 				if err != nil {
 					errs[s] = err
 					return
 				}
-				rec.Span(node, trace.KindFetch, d.ID().String(), fetchStart,
+				src = served
+				sp.rec.Span(fmt.Sprintf("storage-%d", served), trace.KindFetch, d.ID().String(), fetchStart,
 					int64(st.Bytes()), int64(st.NumRows()))
-				if batches[0] == nil {
+				if keyIdxs == nil {
 					schema = st.Schema
-					for j := range batches {
-						batches[j] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, batchRows)
-					}
-					keyIdxs, err = schema.Indexes(joinAttrs)
+					keyIdxs, err = schema.Indexes(sp.joinAttrs)
 					if err != nil {
 						errs[s] = err
 						return
@@ -316,26 +414,32 @@ func (e *Engine) partitionTable(ctx context.Context, cl *cluster.Cluster, table 
 					row = make([]float32, schema.NumAttrs())
 				}
 				for r := 0; r < st.NumRows(); r++ {
-					j := int(h1(st.Key(r, keyIdxs)) % uint64(nj))
-					batches[j].AppendRow(st.Row(r, row)...)
-					if batches[j].NumRows() >= batchRows {
-						if err := e.shipBatch(cl, s, j, batches[j], parts[j], keyIdxs, rec); err != nil {
+					g := int(h1(st.Key(r, keyIdxs)) % uint64(nj))
+					if only >= 0 && g != only {
+						continue
+					}
+					if batches[g] == nil {
+						batches[g] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, sp.batchRows)
+					}
+					batches[g].AppendRow(st.Row(r, row)...)
+					if batches[g].NumRows() >= sp.batchRows {
+						if err := e.shipBatch(cl, src, groups[g], sd, batches[g], keyIdxs, sp.rec); err != nil {
 							errs[s] = err
 							return
 						}
-						batches[j] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, batchRows)
+						batches[g] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, sp.batchRows)
 					}
 				}
 			}
-			for j, b := range batches {
+			for g, b := range batches {
 				if b != nil && b.NumRows() > 0 {
-					if err := e.shipBatch(cl, s, j, b, parts[j], keyIdxs, rec); err != nil {
+					if err := e.shipBatch(cl, src, groups[g], sd, b, keyIdxs, sp.rec); err != nil {
 						errs[s] = err
 						return
 					}
 				}
 			}
-		}(s)
+		}(s, mine)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -347,14 +451,119 @@ func (e *Engine) partitionTable(ctx context.Context, cl *cluster.Cluster, table 
 }
 
 // shipBatch models the network transfer of a record batch from storage
-// node s to joiner j and delivers it to the joiner's partitioner.
-func (e *Engine) shipBatch(cl *cluster.Cluster, s, j int, batch *tuple.SubTable,
-	part *partitioner, keyIdxs []int, rec *trace.Recorder) error {
+// node src to the group's executor and delivers it to the group's
+// partitioner. A batch for a lost group is dropped — its records will be
+// re-materialized wholesale when the group rebuilds, so partial delivery
+// now would double-count. An executor death during delivery marks the
+// group lost instead of failing the scan.
+func (e *Engine) shipBatch(cl *cluster.Cluster, src int, grp *group, sd side,
+	batch *tuple.SubTable, keyIdxs []int, rec *trace.Recorder) error {
+	if grp.lost.Load() {
+		return nil
+	}
+	part := grp.part(sd)
 	start := time.Now()
-	cl.Ship(s, j, int64(batch.Bytes()))
-	rec.Span(fmt.Sprintf("storage-%d", s), trace.KindShip, part.node, start,
+	cl.Ship(src, grp.exec, int64(batch.Bytes()))
+	rec.Span(fmt.Sprintf("storage-%d", src), trace.KindShip, part.node, start,
 		int64(batch.Bytes()), int64(batch.NumRows()))
-	return part.add(batch, keyIdxs)
+	if err := part.add(batch, keyIdxs); err != nil {
+		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(grp.exec) {
+			grp.lost.Store(true)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// runGroup drives one group through phase 2, rebuilding it as needed. The
+// loop invariant: joinBuckets only runs against a group whose partitions
+// are complete on a live executor; every attempt starts with fresh output
+// and stats, merged into the run totals only on success.
+func (e *Engine) runGroup(ctx context.Context, cl *cluster.Cluster, grp *group, run int64,
+	leftSchema, rightSchema tuple.Schema, buckets, flushRows int, req engine.Request, wf int,
+	outSchema tuple.Schema, sp *scanParams, stats *hashjoin.Stats) (*tuple.SubTable, error) {
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if grp.lost.Load() || cl.ComputeDown(grp.exec) {
+			if err := e.rebuildGroup(ctx, cl, grp, run, leftSchema, rightSchema, buckets, flushRows, req, sp); err != nil {
+				return nil, err
+			}
+		}
+		var local hashjoin.Stats
+		out, err := e.joinBuckets(ctx, cl.Compute[grp.exec], grp, req, wf, buckets, outSchema, &local)
+		if err == nil {
+			mergeStats(stats, &local)
+			return out, nil
+		}
+		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(grp.exec) {
+			// The executor died mid-join: its partitions and partial output
+			// are gone. Rebuild on a survivor and join from scratch.
+			grp.lost.Store(true)
+			cl.Health.Recoveries.Add(1)
+			continue
+		}
+		return nil, err
+	}
+}
+
+// rebuildGroup re-homes a lost group on the next surviving compute node
+// and re-materializes exactly its partitions by re-scanning both tables
+// from replicas, under a fresh attempt-numbered scratch namespace (stale
+// partial objects from the dead attempt are never read).
+func (e *Engine) rebuildGroup(ctx context.Context, cl *cluster.Cluster, grp *group, run int64,
+	leftSchema, rightSchema tuple.Schema, buckets, flushRows int, req engine.Request, sp *scanParams) error {
+
+	next, ok := nextAlive(cl, grp.exec)
+	if !ok {
+		return fmt.Errorf("gh: group %d: no compute nodes left", grp.g)
+	}
+	start := time.Now()
+	prev := grp.exec
+	grp.exec = next
+	grp.attempt++
+	grp.lost.Store(false)
+	grp.mount(cl, run, leftSchema, rightSchema, buckets, flushRows, sp.rec)
+	cl.Health.Rebuilds.Add(1)
+	// h1 classes are positional: scanTable indexes groups[g], so the slice
+	// spans all nj classes even though only grp.g receives rows.
+	groups := make([]*group, sp.nj)
+	groups[grp.g] = grp
+	if err := e.scanTable(ctx, cl, sideLeft, groups, grp.g, sp); err != nil {
+		return err
+	}
+	if err := e.scanTable(ctx, cl, sideRight, groups, grp.g, sp); err != nil {
+		return err
+	}
+	if err := grp.flush(); err != nil {
+		return err
+	}
+	sp.rec.Span(fmt.Sprintf("joiner-%d", grp.exec), trace.KindRecover,
+		fmt.Sprintf("group %d rebuilt after compute-%d died", grp.g, prev), start, 0, 0)
+	return nil
+}
+
+// nextAlive returns the first surviving compute node after `from` in ring
+// order.
+func nextAlive(cl *cluster.Cluster, from int) (int, bool) {
+	n := len(cl.Compute)
+	for d := 1; d <= n; d++ {
+		j := (from + d) % n
+		if !cl.ComputeDown(j) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// mergeStats folds one group attempt's counters into the run totals.
+func mergeStats(dst, src *hashjoin.Stats) {
+	dst.TuplesBuilt.Add(src.TuplesBuilt.Load())
+	dst.TuplesProbed.Add(src.TuplesProbed.Load())
+	dst.Matches.Add(src.Matches.Load())
 }
 
 // partitioner is the compute-node side of phase 1 for one table: it
@@ -459,11 +668,13 @@ func (p *partitioner) deleteBucket(k int) error {
 	return p.disk.Delete(p.object(k))
 }
 
-// joinBuckets is phase 2 for one joiner: join bucket pairs independently.
-func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, lp, rp *partitioner, req engine.Request,
+// joinBuckets is phase 2 for one group: join its bucket pairs
+// independently on the group's current executor.
+func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, grp *group, req engine.Request,
 	wf, buckets int, outSchema tuple.Schema, stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
-	out := tuple.NewSubTable(tuple.ID{Table: -2, Chunk: -1}, outSchema, 0)
+	lp, rp := grp.lp, grp.rp
+	out := tuple.NewSubTable(tuple.ID{Table: -2, Chunk: int32(grp.g)}, outSchema, 0)
 	for k := 0; k < buckets; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err

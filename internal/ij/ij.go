@@ -22,6 +22,7 @@ import (
 	"sciview/internal/cluster"
 	"sciview/internal/congraph"
 	"sciview/internal/engine"
+	"sciview/internal/fault"
 	"sciview/internal/hashjoin"
 	"sciview/internal/metadata"
 	"sciview/internal/trace"
@@ -151,13 +152,13 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	results := make([]*tuple.SubTable, nj)
 	errs := make([]error, nj)
 	var wg sync.WaitGroup
-	for j := 0; j < nj; j++ {
+	for slot := 0; slot < nj; slot++ {
 		wg.Add(1)
-		go func(j int) {
+		go func(slot int) {
 			defer wg.Done()
-			results[j], errs[j] = e.runJoiner(ctx, cl, j, schedules[j], req, wf,
+			results[slot], errs[slot] = e.runSlot(ctx, cl, slot, schedules[slot], req, wf,
 				leftFilter, rightFilter, project, outSchema, &stats)
-		}(j)
+		}(slot)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -175,6 +176,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 			Matches:      stats.Matches.Load(),
 		},
 		Traffic: cl.Traffic(),
+		Health:  cl.HealthStats(),
 		Phases:  map[string]time.Duration{},
 	}
 	res.Tuples = res.Join.Matches
@@ -252,14 +254,78 @@ func (e *Engine) buildSchedules(comps []congraph.Component, leftDescs, rightDesc
 	return schedules
 }
 
-// runJoiner executes one compute node's schedule.
-func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, j int, sched []edge, req engine.Request,
+// runSlot drives one schedule slot to completion. The slot's executor is
+// initially the compute node of the same index; if that node dies mid-run
+// (detected by a NodeDownError naming it), the stage-1 plan is revised in
+// place — the slot's whole component schedule is re-run on the next
+// surviving node. Re-running from the top is safe: per-attempt output and
+// join stats are discarded on failure and merged only on success, edges
+// replay in the same order, and survivors' caches stay valid (warm, even,
+// for sub-tables the slot shares with their own schedules), so the
+// recovered output is byte-identical to an undisturbed run.
+func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sched []edge, req engine.Request,
 	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
 	stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
-	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(j)}, outSchema, 0)
-	cn := cl.Compute[j]
-	node := fmt.Sprintf("joiner-%d", j)
+	exec := slot
+	for {
+		if cl.ComputeDown(exec) {
+			next, ok := nextAlive(cl, exec)
+			if !ok {
+				return nil, fmt.Errorf("ij: slot %d: no compute nodes left", slot)
+			}
+			exec = next
+		}
+		var local hashjoin.Stats
+		out, err := e.runJoiner(ctx, cl, slot, exec, sched, req, wf,
+			leftFilter, rightFilter, project, outSchema, &local)
+		if err == nil {
+			mergeStats(stats, &local)
+			return out, nil
+		}
+		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(exec) {
+			// The executor itself died. Discard its partial work and hand
+			// the slot to a survivor.
+			cl.Health.Recoveries.Add(1)
+			start := time.Now()
+			req.Trace.Span(fmt.Sprintf("joiner-%d", slot), trace.KindRecover,
+				fmt.Sprintf("compute-%d died, slot re-assigned", exec), start, 0, int64(len(sched)))
+			continue
+		}
+		return nil, err
+	}
+}
+
+// nextAlive returns the first surviving compute node after `from` in ring
+// order.
+func nextAlive(cl *cluster.Cluster, from int) (int, bool) {
+	n := len(cl.Compute)
+	for d := 1; d <= n; d++ {
+		j := (from + d) % n
+		if !cl.ComputeDown(j) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// mergeStats folds a slot attempt's local counters into the run total.
+func mergeStats(dst, src *hashjoin.Stats) {
+	dst.TuplesBuilt.Add(src.TuplesBuilt.Load())
+	dst.TuplesProbed.Add(src.TuplesProbed.Load())
+	dst.Matches.Add(src.Matches.Load())
+}
+
+// runJoiner executes one slot's schedule on compute node exec. The output
+// sub-table keeps the slot's id, so results do not depend on which node
+// ran the work.
+func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec int, sched []edge, req engine.Request,
+	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
+	stats *hashjoin.Stats) (*tuple.SubTable, error) {
+
+	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
+	cn := cl.Compute[exec]
+	node := fmt.Sprintf("joiner-%d", slot)
 	leftSig := cluster.Signature(&leftFilter, project)
 	rightSig := cluster.Signature(&rightFilter, project)
 	var (
@@ -271,7 +337,12 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, j int, sche
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		left, err := e.cachedFetch(ctx, cl, j, node, ed.left, leftSig, &leftFilter, project, req.Trace)
+		// One scheduled edge is one countable operation on the executor:
+		// the chaos schedule can crash the node here, mid-schedule.
+		if err := cl.Config.Faults.Op(fault.ComputeNode(exec), fault.OpEdge); err != nil {
+			return nil, err
+		}
+		left, err := e.cachedFetch(ctx, cl, exec, node, ed.left, leftSig, &leftFilter, project, req.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +357,7 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, j int, sche
 			req.Trace.Span(node, trace.KindBuild, ed.left.String(), start,
 				int64(left.Bytes()), int64(left.NumRows()))
 		}
-		right, err := e.cachedFetch(ctx, cl, j, node, ed.right, rightSig, &rightFilter, project, req.Trace)
+		right, err := e.cachedFetch(ctx, cl, exec, node, ed.right, rightSig, &rightFilter, project, req.Trace)
 		if err != nil {
 			return nil, err
 		}

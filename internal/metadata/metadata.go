@@ -120,6 +120,25 @@ func (c *Catalog) AddChunk(tableID int32, d *chunk.Desc) (tuple.ID, error) {
 	return d.ID(), nil
 }
 
+// AddReplica records an extra placement of chunk (tableID, chunkID). The
+// replica's bytes are the caller's responsibility (dataset loading writes
+// them); the catalog only tracks where copies live so fetches can fail
+// over.
+func (c *Catalog) AddReplica(tableID, chunkID int32, r chunk.Replica) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := c.chunks[tableID]
+	if chunkID < 0 || int(chunkID) >= len(list) {
+		return fmt.Errorf("metadata: no chunk (%d,%d)", tableID, chunkID)
+	}
+	d := list[chunkID]
+	if _, _, ok := d.Locate(r.Node); ok {
+		return fmt.Errorf("metadata: chunk (%d,%d) already placed on node %d", tableID, chunkID, r.Node)
+	}
+	d.Replicas = append(d.Replicas, r)
+	return nil
+}
+
 // coordBox projects a full-schema bounding box onto the coordinate
 // dimensions, clamping infinities so R-tree volume arithmetic stays finite.
 func coordBox(schema tuple.Schema, full bbox.Box) bbox.Box {

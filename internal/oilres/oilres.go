@@ -47,6 +47,9 @@ type Config struct {
 	// gets a consecutive run of chunk ids — i.e. a spatial slab, the
 	// layout a non-parallel writer would produce).
 	Placement string
+	// Replicas is the total number of placements per chunk (primary
+	// included), clamped to StorageNodes. Values < 2 mean no replication.
+	Replicas int
 	// Seed drives the synthetic measure values.
 	Seed int64
 }
@@ -156,6 +159,9 @@ func Generate(cfg Config, stores ...simio.Store) (*Dataset, error) {
 	}
 	ds.Right, err = genTable(ds, cfg.RightName, cfg.RightMeasures, cfg.RightPart, 2)
 	if err != nil {
+		return nil, err
+	}
+	if err := Replicate(ds.Catalog, ds.Stores, cfg.Replicas); err != nil {
 		return nil, err
 	}
 	return ds, nil

@@ -1,0 +1,54 @@
+package oilres
+
+import (
+	"fmt"
+
+	"sciview/internal/chunk"
+	"sciview/internal/metadata"
+	"sciview/internal/simio"
+)
+
+// Replicate raises every chunk of the catalog to `copies` total placements
+// (primary included), writing the extra copies round-robin to the nodes
+// after the primary and registering them with the catalog. Replica bytes
+// live under "rep/<primary object>" on each holding node, appended in
+// chunk order. copies is clamped to the node count; copies < 2 is a no-op.
+//
+// Like generation, replication is administrative: bytes go straight to the
+// stores, unthrottled — the paper's measured costs begin at query time.
+func Replicate(cat *metadata.Catalog, stores []simio.Store, copies int) error {
+	n := len(stores)
+	if copies > n {
+		copies = n
+	}
+	if copies < 2 {
+		return nil
+	}
+	for _, def := range cat.Tables() {
+		for _, d := range cat.Chunks(def.ID) {
+			data, err := stores[d.Node].ReadRange(d.Object, d.Offset, d.Size)
+			if err != nil {
+				return fmt.Errorf("oilres: replicating chunk %v: %w", d.ID(), err)
+			}
+			node := d.Node
+			for len(d.Nodes()) < copies {
+				node = (node + 1) % n
+				if _, _, ok := d.Locate(node); ok {
+					continue
+				}
+				obj := "rep/" + d.Object
+				off, err := stores[node].Size(obj)
+				if err != nil {
+					off = 0 // object not created yet
+				}
+				if err := stores[node].Append(obj, data); err != nil {
+					return fmt.Errorf("oilres: replicating chunk %v to node %d: %w", d.ID(), node, err)
+				}
+				if err := cat.AddReplica(def.ID, d.Chunk, chunk.Replica{Node: node, Object: obj, Offset: off}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sciview/internal/transport"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 4, Base: time.Microsecond}, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky: %w", transport.ErrUnavailable)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnTerminalError(t *testing.T) {
+	terminal := &transport.RemoteError{Service: "bds-0", Method: "subtable", Msg: "no such chunk"}
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, Base: time.Microsecond}, func(int) error {
+		calls++
+		return terminal
+	})
+	if !errors.Is(err, terminal) && err != terminal {
+		var re *transport.RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("err = %v, want the RemoteError", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (terminal errors must not retry)", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond}, func(int) error {
+		calls++
+		return fmt.Errorf("down: %w", transport.ErrUnavailable)
+	})
+	if !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable chain", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoRespectsDeadlineBudget(t *testing.T) {
+	// Backoff far exceeds the context budget: Do must return the last
+	// error early instead of sleeping through the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	err := Do(ctx, Policy{Attempts: 10, Base: time.Second, Max: time.Second}, func(int) error {
+		calls++
+		return fmt.Errorf("down: %w", transport.ErrUnavailable)
+	})
+	if !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("err = %v, want the op's error, not a context error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Do slept %v past its budget", elapsed)
+	}
+}
+
+func TestDoReturnsContextErrorBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Default(), func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("calls = %d, want 0", calls)
+	}
+}
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Multiplier: 2, Jitter: 0.5, Seed: 42}
+	for n := 1; n <= 6; n++ {
+		d1, d2 := p.Delay(n), p.Delay(n)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", n, d1, d2)
+		}
+		// With jitter J, delay stays within [base*(1-J/2), max*(1+J/2)].
+		lo := time.Duration(float64(p.Base) * 0.75)
+		hi := time.Duration(float64(p.Max) * 1.25)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", n, d1, lo, hi)
+		}
+	}
+	q := p
+	q.Seed = 43
+	if p.Delay(1) == q.Delay(1) && p.Delay(2) == q.Delay(2) && p.Delay(3) == q.Delay(3) {
+		t.Fatalf("different seeds produced identical delay streams")
+	}
+}
+
+func TestCustomRetryable(t *testing.T) {
+	sentinel := errors.New("try me")
+	calls := 0
+	err := Do(context.Background(), Policy{
+		Attempts:  3,
+		Base:      time.Microsecond,
+		Retryable: func(err error) bool { return errors.Is(err, sentinel) },
+	}, func(int) error {
+		calls++
+		if calls < 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err = %v, calls = %d; want nil, 2", err, calls)
+	}
+}

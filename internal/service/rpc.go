@@ -46,6 +46,7 @@ type wireResult struct {
 	Weight      int64
 	Traffic     cluster.Traffic
 	Cache       cache.Stats
+	Health      cluster.HealthStats
 }
 
 // wireStats is the gob frame of a Stats snapshot.
@@ -103,6 +104,7 @@ func (s *Service) handle(method string, payload []byte) ([]byte, error) {
 			Weight:      resp.Weight,
 			Traffic:     resp.Result.Traffic,
 			Cache:       resp.Result.Cache,
+			Health:      resp.Result.Health,
 		})
 	case "stats":
 		return encodeGob(wireStats{Stats: s.Stats()})
@@ -166,6 +168,7 @@ func (c *Client) Query(ctx context.Context, q Query) (*Response, error) {
 			Elapsed: time.Duration(wr.ElapsedNs),
 			Traffic: wr.Traffic,
 			Cache:   wr.Cache,
+			Health:  wr.Health,
 		},
 		QueueWait: time.Duration(wr.QueueWaitNs),
 		Weight:    wr.Weight,

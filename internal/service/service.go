@@ -87,6 +87,11 @@ type Stats struct {
 	Cancelled int64 // context ended while queued or running
 	Completed int64
 	Failed    int64 // engine error other than cancellation
+	// Recovered counts completed queries whose execution window saw
+	// fault-recovery activity (retries, failovers, node recoveries). Under
+	// concurrency a neighbor's recovery can be attributed here, so treat it
+	// as "completed despite faults", not an exact per-query count.
+	Recovered int64
 
 	QueuePeak    int // max queue length observed
 	InFlightPeak int // max concurrent queries observed
@@ -98,6 +103,10 @@ type Stats struct {
 	// is actual BDS fetches led, Shared is fetches satisfied by joining
 	// another query's in-flight fetch.
 	Dedup cache.FlightStats
+
+	// Health is the cluster's cumulative fault-tolerance accounting
+	// (retries, failovers, breaker trips, recoveries, rebuilds).
+	Health cluster.HealthStats
 }
 
 // Service is a running concurrent query service over one cluster.
@@ -201,10 +210,17 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	req.Shared = true
 	req.Trace.Span("service", trace.KindQueue, eng.Name(), enqueued, w.weight, 0)
 	runStart := time.Now()
+	before := s.cl.HealthStats()
 	res, err := eng.RunContext(ctx, s.cl, req)
+	recovered := err == nil && healthActivity(s.cl.HealthStats())-healthActivity(before) > 0
 	s.finish(w, queueWait, err)
 	if err != nil {
 		return nil, err
+	}
+	if recovered {
+		s.mu.Lock()
+		s.stats.Recovered++
+		s.mu.Unlock()
 	}
 	req.Trace.Span("service", trace.KindQuery, eng.Name(), runStart, 0, res.Tuples)
 	return &Response{
@@ -275,13 +291,20 @@ func (s *Service) finish(w *waiter, queueWait time.Duration, err error) {
 	s.mu.Unlock()
 }
 
+// healthActivity sums the counters that indicate a run hit (and survived)
+// injected or real faults.
+func healthActivity(h cluster.HealthStats) int64 {
+	return h.Retries + h.Failovers + h.Recoveries + h.Rebuilds
+}
+
 // Stats snapshots the service counters, including the cluster's fetch
-// deduplication totals.
+// deduplication and fault-recovery totals.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
 	s.mu.Unlock()
 	st.Dedup = s.cl.FlightStats()
+	st.Health = s.cl.HealthStats()
 	return st
 }
 
@@ -327,11 +350,17 @@ func (st Stats) String() string {
 	if total > 0 {
 		dedup = float64(st.Dedup.Shared) / float64(total)
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"submitted %d admitted %d completed %d failed %d cancelled %d rejected %d | queue peak %d inflight peak %d wait %v | fetch dedup %.0f%% (%d shared / %d led)",
 		st.Submitted, st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected,
 		st.QueuePeak, st.InFlightPeak, st.QueueWait.Round(time.Millisecond),
 		dedup*100, st.Dedup.Shared, st.Dedup.Leads)
+	if healthActivity(st.Health)+st.Health.BreakerTrips > 0 {
+		s += fmt.Sprintf(" | health: %d retries %d failovers %d trips %d recoveries %d rebuilds, %d queries recovered",
+			st.Health.Retries, st.Health.Failovers, st.Health.BreakerTrips,
+			st.Health.Recoveries, st.Health.Rebuilds, st.Recovered)
+	}
+	return s
 }
 
 // waiter is one queued submission.

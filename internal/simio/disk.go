@@ -53,6 +53,10 @@ type Disk struct {
 	// throttle pay the thrash multiplier).
 	Owner    int
 	Counters Counters
+	// Fault, when set, is consulted before every operation with "read" or
+	// "write"; a non-nil return fails the operation without touching the
+	// store (chaos injection — a crashed or flaky device).
+	Fault func(op string) error
 }
 
 // NewDisk returns a disk over the given store with the given bandwidths in
@@ -79,6 +83,11 @@ func (d *Disk) WriteThrottle() *Throttle { return d.write }
 
 // ReadRange reads object bytes through the read throttle.
 func (d *Disk) ReadRange(name string, off, n int64) ([]byte, error) {
+	if d.Fault != nil {
+		if err := d.Fault("read"); err != nil {
+			return nil, err
+		}
+	}
 	data, err := d.store.ReadRange(name, off, n)
 	if err != nil {
 		return nil, err
@@ -90,6 +99,11 @@ func (d *Disk) ReadRange(name string, off, n int64) ([]byte, error) {
 
 // Put writes an object through the write throttle.
 func (d *Disk) Put(name string, data []byte) error {
+	if d.Fault != nil {
+		if err := d.Fault("write"); err != nil {
+			return err
+		}
+	}
 	Wait(d.write.ReserveFrom(d.Owner, int64(len(data))))
 	if err := d.store.Put(name, data); err != nil {
 		return err
@@ -100,6 +114,11 @@ func (d *Disk) Put(name string, data []byte) error {
 
 // Append extends an object through the write throttle.
 func (d *Disk) Append(name string, data []byte) error {
+	if d.Fault != nil {
+		if err := d.Fault("write"); err != nil {
+			return err
+		}
+	}
 	Wait(d.write.ReserveFrom(d.Owner, int64(len(data))))
 	if err := d.store.Append(name, data); err != nil {
 		return err

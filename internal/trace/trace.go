@@ -25,6 +25,7 @@ const (
 	KindShip       Kind = "ship"       // GH record batch storage → joiner
 	KindSpill      Kind = "spill"      // GH bucket write to scratch disk
 	KindBucketRead Kind = "bucketread" // GH bucket read back
+	KindRecover    Kind = "recover"    // work re-run after a node failure
 )
 
 // Event kinds emitted by the concurrent query service.

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// FaultHook decides the fate of one transport operation. It is consulted
+// before every Call/CallContext (and Dial) with the target service and
+// method; returning a non-nil error injects that error instead of
+// performing the exchange, and a positive delay stalls the exchange first.
+// Implementations are expected to be deterministic given a seeded
+// schedule — internal/fault.Injector provides one.
+type FaultHook interface {
+	// Fault is consulted once per operation. method is "" for Dial.
+	Fault(service, method string) (delay time.Duration, err error)
+}
+
+// Faulty wraps a Transport with fault injection: every dialed connection's
+// calls pass through the hook, which can drop them (inject errors), delay
+// them, or black-hole a crashed node's services entirely. Serve is passed
+// through untouched — faults are injected on the caller's side of the
+// wire, where a real network loses them.
+type Faulty struct {
+	Inner Transport
+	Hook  FaultHook
+}
+
+// NewFaulty wraps tr so every connection consults hook.
+func NewFaulty(tr Transport, hook FaultHook) *Faulty {
+	return &Faulty{Inner: tr, Hook: hook}
+}
+
+// Serve implements Transport.
+func (f *Faulty) Serve(service string, h Handler) (io.Closer, error) {
+	return f.Inner.Serve(service, h)
+}
+
+// Dial implements Transport. The dial itself is also subject to injection.
+func (f *Faulty) Dial(service string) (Conn, error) {
+	if f.Hook != nil {
+		delay, err := f.Hook.Fault(service, "")
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	conn, err := f.Inner.Dial(service)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{inner: conn, service: service, hook: f.Hook}, nil
+}
+
+type faultyConn struct {
+	inner   Conn
+	service string
+	hook    FaultHook
+}
+
+func (c *faultyConn) Call(method string, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), method, payload)
+}
+
+func (c *faultyConn) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if c.hook != nil {
+		delay, err := c.hook.Fault(c.service, method)
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.inner.CallContext(ctx, method, payload)
+}
+
+func (c *faultyConn) Close() error { return c.inner.Close() }
+
+// verify interface compliance.
+var _ Transport = (*Faulty)(nil)

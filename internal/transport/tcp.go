@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -18,7 +19,13 @@ import (
 // Wire format (all integers little-endian):
 //
 //	request:  u16 methodLen | method | u32 payloadLen | payload
-//	response: u8 status (0 ok, 1 remote error) | u32 len | bytes
+//	response: u8 status (0 ok, 1 remote error, 2 unavailable, 3 timeout) |
+//	          u32 len | bytes
+//
+// Statuses 2 and 3 carry the error taxonomy across the wire: a handler
+// failure wrapping ErrUnavailable or ErrTimeout is reconstructed on the
+// client with the same sentinel in its chain, so errors.Is classification
+// is substrate-independent.
 type TCP struct {
 	mu    sync.RWMutex
 	addrs map[string]string
@@ -206,17 +213,31 @@ func writeRequest(w io.Writer, method string, payload []byte) error {
 	return err
 }
 
+// response status codes.
+const (
+	statusOK          = 0
+	statusRemoteError = 1
+	statusUnavailable = 2
+	statusTimeout     = 3
+)
+
 func writeResponse(w io.Writer, resp []byte, herr error) error {
 	var buf []byte
 	if herr != nil {
+		status := byte(statusRemoteError)
+		if errors.Is(herr, ErrUnavailable) {
+			status = statusUnavailable
+		} else if errors.Is(herr, ErrTimeout) {
+			status = statusTimeout
+		}
 		msg := herr.Error()
 		buf = make([]byte, 0, 1+4+len(msg))
-		buf = append(buf, 1)
+		buf = append(buf, status)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
 		buf = append(buf, msg...)
 	} else {
 		buf = make([]byte, 0, 1+4+len(resp))
-		buf = append(buf, 0)
+		buf = append(buf, statusOK)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp)))
 		buf = append(buf, resp...)
 	}
@@ -224,23 +245,23 @@ func writeResponse(w io.Writer, resp []byte, herr error) error {
 	return err
 }
 
-func readResponse(r io.Reader) ([]byte, bool, error) {
+func readResponse(r io.Reader) ([]byte, byte, error) {
 	var status [1]byte
 	if _, err := io.ReadFull(r, status[:]); err != nil {
-		return nil, false, err
+		return nil, 0, err
 	}
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, false, err
+		return nil, 0, err
 	}
 	if n > 1<<30 {
-		return nil, false, fmt.Errorf("transport: oversized response %d", n)
+		return nil, 0, fmt.Errorf("transport: oversized response %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, false, err
+		return nil, 0, err
 	}
-	return body, status[0] != 0, nil
+	return body, status[0], nil
 }
 
 // Dial implements Transport.
@@ -249,7 +270,7 @@ func (t *TCP) Dial(service string) (Conn, error) {
 	addr, ok := t.addrs[service]
 	t.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+		return nil, fmt.Errorf("%w: %w: %q", ErrUnavailable, ErrUnknownService, service)
 	}
 	return DialAddr(service, addr)
 }
@@ -259,7 +280,7 @@ func (t *TCP) Dial(service string) (Conn, error) {
 func DialAddr(service, addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %q at %s: %w", service, addr, err)
+		return nil, fmt.Errorf("transport: dial %q at %s: %w: %w", service, addr, ErrUnavailable, err)
 	}
 	return &tcpConn{service: service, addr: addr, conn: c}, nil
 }
@@ -294,7 +315,7 @@ func (c *tcpConn) CallContext(ctx context.Context, method string, payload []byte
 	if c.conn == nil { // reconnect after an aborted exchange
 		conn, err := net.Dial("tcp", c.addr)
 		if err != nil {
-			return nil, fmt.Errorf("transport: redial %q at %s: %w", c.service, c.addr, err)
+			return nil, fmt.Errorf("transport: redial %q at %s: %w: %w", c.service, c.addr, ErrUnavailable, err)
 		}
 		c.conn = conn
 	}
@@ -327,23 +348,54 @@ func (c *tcpConn) CallContext(ctx context.Context, method string, payload []byte
 			c.conn = nil
 			return cerr
 		}
+		if err != nil {
+			// A failed exchange also leaves the stream in an unknown
+			// state: discard the socket so the next call starts clean.
+			c.conn.Close()
+			c.conn = nil
+		}
 		return err
 	}
 
 	if err := writeRequest(c.conn, method, payload); err != nil {
-		return nil, fmt.Errorf("transport: sending %s.%s: %w", c.service, method, finish(err))
+		return nil, c.wireErr("sending", method, finish(err))
 	}
-	body, isErr, err := readResponse(c.conn)
+	body, status, err := readResponse(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("transport: receiving %s.%s: %w", c.service, method, finish(err))
+		return nil, c.wireErr("receiving", method, finish(err))
 	}
 	if err := finish(nil); err != nil {
 		return nil, err
 	}
-	if isErr {
+	switch status {
+	case statusOK:
+		return body, nil
+	case statusUnavailable:
+		return nil, fmt.Errorf("%w: %s.%s: %s", ErrUnavailable, c.service, method, body)
+	case statusTimeout:
+		return nil, fmt.Errorf("%w: %s.%s: %s", ErrTimeout, c.service, method, body)
+	default:
 		return nil, &RemoteError{Service: c.service, Method: method, Msg: string(body)}
 	}
-	return body, nil
+}
+
+// wireErr classifies a mid-exchange I/O failure for the error taxonomy:
+// context errors pass through untouched, socket timeouts become
+// ErrTimeout, and everything else (resets, EOFs from a crashed server)
+// becomes ErrUnavailable.
+func (c *tcpConn) wireErr(verb, method string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	sentinel := ErrUnavailable
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		sentinel = ErrTimeout
+	}
+	return fmt.Errorf("transport: %s %s.%s: %w: %w", verb, c.service, method, sentinel, err)
 }
 
 func (c *tcpConn) Close() error {

@@ -42,7 +42,8 @@ type Transport interface {
 }
 
 // RemoteError is an error returned by the remote handler (as opposed to a
-// transport failure).
+// transport failure). It is terminal: the handler executed and refused the
+// request, so retrying or failing over cannot help.
 type RemoteError struct {
 	Service string
 	Method  string
@@ -55,6 +56,32 @@ func (e *RemoteError) Error() string {
 
 // ErrUnknownService is returned by Dial for unregistered service names.
 var ErrUnknownService = errors.New("transport: unknown service")
+
+// Error taxonomy sentinels. Both substrates wrap their failures so
+// errors.Is classification works uniformly: the retry/failover layer treats
+// ErrUnavailable and ErrTimeout as retryable I/O faults and everything
+// else — notably *RemoteError — as terminal.
+var (
+	// ErrUnavailable marks transient reachability failures: refused or
+	// broken connections, dropped exchanges, crashed nodes.
+	ErrUnavailable = errors.New("transport: unavailable")
+	// ErrTimeout marks an exchange that exceeded its time budget without
+	// the caller's context expiring (e.g. a socket deadline).
+	ErrTimeout = errors.New("transport: timeout")
+)
+
+// IsRetryable reports whether err is a transient transport fault worth
+// retrying or failing over: an ErrUnavailable or ErrTimeout anywhere in
+// its chain. Context errors and remote (application) errors are terminal.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout)
+}
 
 // InProc is an in-process Transport: Call invokes the handler directly in
 // the caller's goroutine. It is the zero-overhead substrate for the
@@ -91,7 +118,7 @@ func (t *InProc) Dial(service string) (Conn, error) {
 	_, ok := t.services[service]
 	t.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+		return nil, fmt.Errorf("%w: %w: %q", ErrUnavailable, ErrUnknownService, service)
 	}
 	return &inprocConn{t: t, service: service}, nil
 }
@@ -113,7 +140,7 @@ func (c *inprocConn) CallContext(ctx context.Context, method string, payload []b
 	h, ok := c.t.services[c.service]
 	c.t.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownService, c.service)
+		return nil, fmt.Errorf("%w: %w: %q", ErrUnavailable, ErrUnknownService, c.service)
 	}
 	resp, err := h(method, payload)
 	if cerr := ctx.Err(); cerr != nil {
@@ -122,6 +149,16 @@ func (c *inprocConn) CallContext(ctx context.Context, method string, payload []b
 		return nil, cerr
 	}
 	if err != nil {
+		// A handler failure carrying a taxonomy sentinel is a transient
+		// I/O fault (an injected drop, a crashed node), not an application
+		// refusal: keep the sentinel in the chain so errors.Is
+		// classification matches the TCP substrate's.
+		if errors.Is(err, ErrUnavailable) {
+			return nil, fmt.Errorf("%w: %s.%s: %v", ErrUnavailable, c.service, method, err)
+		}
+		if errors.Is(err, ErrTimeout) {
+			return nil, fmt.Errorf("%w: %s.%s: %v", ErrTimeout, c.service, method, err)
+		}
 		return nil, &RemoteError{Service: c.service, Method: method, Msg: err.Error()}
 	}
 	return resp, nil

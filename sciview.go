@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sciview/internal/cluster"
+	"sciview/internal/fault"
 	"sciview/internal/planner"
 	"sciview/internal/trace"
 )
@@ -41,6 +42,16 @@ type ClusterSpec struct {
 	// UseTCP serves every BDS over real TCP loopback sockets and fetches
 	// sub-tables through them (wire codec and all). Call Close when done.
 	UseTCP bool
+	// Faults is a deterministic chaos schedule injected into the cluster's
+	// disks and transports, e.g.
+	// "crash:storage-1:fetch:3,delay:compute-0:write:2:5ms" (see
+	// internal/fault.Parse). Empty disables injection.
+	Faults string
+	// BreakerThreshold and BreakerCooldown tune the per-storage-node
+	// circuit breakers (0 = defaults: trip after 3 consecutive failures,
+	// probe after 100ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // System is a running view-creation framework instance: an emulated
@@ -66,18 +77,28 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 	if spec.CacheBytes == 0 {
 		spec.CacheBytes = 64 << 20
 	}
+	var inj *fault.Injector
+	if spec.Faults != "" {
+		var err error
+		if inj, err = fault.Parse(spec.Faults); err != nil {
+			return nil, fmt.Errorf("sciview: fault spec: %w", err)
+		}
+	}
 	cl, err := cluster.New(cluster.Config{
-		StorageNodes:  spec.StorageNodes,
-		ComputeNodes:  spec.ComputeNodes,
-		DiskReadBw:    spec.DiskReadBw,
-		DiskWriteBw:   spec.DiskWriteBw,
-		NetBw:         spec.NetBw,
-		SharedFS:      spec.SharedFS,
-		NFSContention: spec.NFSContention,
-		CacheBytes:    spec.CacheBytes,
-		CachePolicy:   spec.CachePolicy,
-		CPUSecPerOp:   spec.CPUSecPerOp,
-		UseTCP:        spec.UseTCP,
+		StorageNodes:     spec.StorageNodes,
+		ComputeNodes:     spec.ComputeNodes,
+		DiskReadBw:       spec.DiskReadBw,
+		DiskWriteBw:      spec.DiskWriteBw,
+		NetBw:            spec.NetBw,
+		SharedFS:         spec.SharedFS,
+		NFSContention:    spec.NFSContention,
+		CacheBytes:       spec.CacheBytes,
+		CachePolicy:      spec.CachePolicy,
+		CPUSecPerOp:      spec.CPUSecPerOp,
+		UseTCP:           spec.UseTCP,
+		Faults:           inj,
+		BreakerThreshold: spec.BreakerThreshold,
+		BreakerCooldown:  spec.BreakerCooldown,
 	}, ds.catalog, ds.stores)
 	if err != nil {
 		return nil, err

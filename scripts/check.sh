@@ -22,4 +22,7 @@ go test -race -count=1 ./internal/service ./internal/cache ./internal/transport 
 echo "== go test -race -short (root service bench)"
 go test -race -short -count=1 -run TestServiceBenchShort .
 
+echo "== go test -race (chaos matrix: fault/retry/breaker + drop/delay/crash x IJ/GH)"
+go test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
+
 echo "OK"

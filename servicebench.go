@@ -2,6 +2,7 @@ package sciview
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -33,6 +34,12 @@ type ServiceBenchSpec struct {
 	Engine string
 	// Seed varies the dataset (default 2006).
 	Seed int64
+	// Replicas places each chunk on this many storage nodes (default 1 =
+	// no replication), enabling failover under injected faults.
+	Replicas int
+	// Faults is a deterministic chaos schedule (see internal/fault.Parse),
+	// e.g. "crash:storage-1:fetch:20". Empty disables injection.
+	Faults string
 }
 
 // ServiceBenchResult reports one benchmark run.
@@ -44,7 +51,13 @@ type ServiceBenchResult struct {
 	LatP95     time.Duration
 	LatMax     time.Duration
 	QueueMean  time.Duration
-	Stats      service.Stats
+	// Failed counts queries that errored mid-run (injected faults past the
+	// cluster's tolerance); Refused counts submissions turned away at
+	// admission (queue full, or the window closing mid-drain). Neither ends
+	// a worker: clients carry on to the next query.
+	Failed  int64
+	Refused int64
+	Stats   service.Stats
 }
 
 // RunServiceBench generates a mid-size dataset, stands up the concurrent
@@ -74,11 +87,12 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 		RightPart:    Dims{X: 8, Y: 8, Z: 8},
 		StorageNodes: spec.StorageNodes,
 		Seed:         spec.Seed,
+		Replicas:     spec.Replicas,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes})
+	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes, Faults: spec.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +111,7 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 
 	var mu sync.Mutex
 	var lats, waits []time.Duration
+	var failed, refused int64
 	var wg sync.WaitGroup
 	for c := 0; c < spec.Concurrency; c++ {
 		wg.Add(1)
@@ -105,13 +120,28 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 			for ctx.Err() == nil {
 				start := time.Now()
 				resp, err := svc.Submit(ctx, query)
-				if err != nil {
+				switch {
+				case err == nil:
+					mu.Lock()
+					lats = append(lats, time.Since(start))
+					waits = append(waits, resp.QueueWait)
+					mu.Unlock()
+				case ctx.Err() != nil:
 					return // window closed mid-query
+				case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrQueueFull):
+					// Turned away at admission; a fault-free service only
+					// refuses while draining, so keep the worker alive.
+					mu.Lock()
+					refused++
+					mu.Unlock()
+				default:
+					// A query failed outright (faults past the cluster's
+					// tolerance). The service and cluster are still up —
+					// the next query may well succeed.
+					mu.Lock()
+					failed++
+					mu.Unlock()
 				}
-				mu.Lock()
-				lats = append(lats, time.Since(start))
-				waits = append(waits, resp.QueueWait)
-				mu.Unlock()
 			}
 		}()
 	}
@@ -119,7 +149,12 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 	wg.Wait()
 	elapsed := time.Since(benchStart)
 
-	res := &ServiceBenchResult{Queries: int64(len(lats)), Stats: svc.Stats()}
+	res := &ServiceBenchResult{
+		Queries: int64(len(lats)),
+		Failed:  failed,
+		Refused: refused,
+		Stats:   svc.Stats(),
+	}
 	if len(lats) > 0 {
 		res.Throughput = float64(len(lats)) / elapsed.Seconds()
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -151,5 +186,13 @@ func (r *ServiceBenchResult) Print(w io.Writer, spec ServiceBenchSpec) {
 		r.LatMean.Round(time.Microsecond), r.LatP50.Round(time.Microsecond),
 		r.LatP95.Round(time.Microsecond), r.LatMax.Round(time.Microsecond))
 	fmt.Fprintf(w, "  queue wait  mean %v\n", r.QueueMean.Round(time.Microsecond))
+	if r.Failed > 0 || r.Refused > 0 {
+		fmt.Fprintf(w, "  errors      %d failed, %d refused at admission\n", r.Failed, r.Refused)
+	}
+	h := r.Stats.Health
+	if h.Retries+h.Failovers+h.BreakerTrips+h.Recoveries+h.Rebuilds > 0 {
+		fmt.Fprintf(w, "  recovery    %d retries, %d failovers, %d breaker trips, %d node recoveries, %d group rebuilds\n",
+			h.Retries, h.Failovers, h.BreakerTrips, h.Recoveries, h.Rebuilds)
+	}
 	fmt.Fprintf(w, "  %s\n", r.Stats)
 }
