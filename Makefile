@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench clean
+.PHONY: all build vet test race chaos check bench benchfig clean
 
 all: check
 
@@ -28,7 +28,13 @@ chaos:
 
 check: build vet test race chaos
 
+# Kernel/codec/IJ-workload microbenchmarks with -benchmem, parsed into
+# BENCH_pr3.json (map-vs-flat and prefetch-off-vs-on ratios included).
 bench:
+	sh scripts/bench.sh
+
+# The paper-figure reproduction benches (the old `make bench`).
+benchfig:
 	$(GO) test -bench=Fig -benchtime=1x ./...
 
 clean:

@@ -43,6 +43,8 @@ func main() {
 		forceEngine = flag.String("engine", "", "force engine for -concurrency: ij or gh")
 		replicas    = flag.Int("replicas", 1, "chunk copies across storage nodes for -concurrency (enables failover)")
 		faults      = flag.String("faults", "", "chaos schedule for -concurrency, e.g. crash:storage-1:fetch:20 (see internal/fault)")
+		prefetch    = flag.Int("prefetch", sciview.DefaultPrefetch, "IJ joiner lookahead depth for -concurrency (0 = disabled)")
+		parallelism = flag.Int("parallelism", 0, "hash-join kernel workers for -concurrency (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 	if *concurrency > 0 {
@@ -57,6 +59,8 @@ func main() {
 			Seed:         *seed,
 			Replicas:     *replicas,
 			Faults:       *faults,
+			Prefetch:     *prefetch,
+			Parallelism:  *parallelism,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)
 		}

@@ -54,6 +54,8 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
 		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
 		faults      = flag.String("faults", "", "chaos schedule, e.g. crash:storage-1:fetch:20,delay:compute-0:write:2:5ms")
+		prefetch    = flag.Int("prefetch", engine.DefaultPrefetch, "default IJ joiner lookahead depth for queries that leave it unset (0 = disabled)")
+		parallelism = flag.Int("parallelism", 0, "default hash-join kernel workers for queries that leave it unset (0 = all CPUs, 1 = serial)")
 		// Client mode.
 		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
 		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
@@ -95,6 +97,8 @@ func main() {
 		MemoryBudget: *memBudget,
 		MaxQueue:     *maxQueue,
 		Force:        *force,
+		Prefetch:     *prefetch,
+		Parallelism:  *parallelism,
 	})
 
 	tr := transport.NewTCP()

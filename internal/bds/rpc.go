@@ -47,7 +47,9 @@ func (s *Service) handle(method string, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return tuple.Encode(nil, st), nil
+		// Encode into a pooled buffer; ownership passes to the transport,
+		// which recycles it once the response frame is written.
+		return tuple.Encode(tuple.GetBuf(tuple.EncodedSize(st)), st), nil
 	default:
 		return nil, fmt.Errorf("bds: unknown method %q", method)
 	}
@@ -91,6 +93,10 @@ func (c *Client) SubTableProjected(ctx context.Context, id tuple.ID, filter *met
 		return nil, err
 	}
 	st, _, err := tuple.Decode(resp)
+	// Decode copies everything out of resp (column data into a fresh
+	// backing array, attribute names into fresh strings), so the response
+	// buffer can go straight back to the pool.
+	tuple.PutBuf(resp)
 	return st, err
 }
 

@@ -65,6 +65,20 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	return n.val, true
 }
 
+// Peek returns the cached value for key without updating recency or the
+// hit/miss counters. It is the single-lookup replacement for the racy
+// Contains-then-Get pattern: one critical section, one answer.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
 // Contains reports whether key is cached without updating recency or stats.
 func (c *LRU[K, V]) Contains(key K) bool {
 	c.mu.Lock()

@@ -11,6 +11,7 @@ import (
 // paper's future-work question of caching strategies.
 type Cache[K comparable, V any] interface {
 	Get(key K) (V, bool)
+	Peek(key K) (V, bool)
 	Contains(key K) bool
 	Put(key K, val V, size int64)
 	Remove(key K) bool
@@ -73,6 +74,18 @@ func (c *FIFO[K, V]) Get(key K) (V, bool) {
 		return zero, false
 	}
 	c.hits++
+	return n.val, true
+}
+
+// Peek implements Cache: a stat-free lookup (FIFO has no recency to skip).
+func (c *FIFO[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
 	return n.val, true
 }
 
@@ -216,6 +229,19 @@ func (c *Clock[K, V]) Get(key K) (V, bool) {
 	}
 	n.referenced = true
 	c.hits++
+	return n.val, true
+}
+
+// Peek implements Cache: a stat-free lookup that leaves the reference bit
+// untouched.
+func (c *Clock[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
 	return n.val, true
 }
 

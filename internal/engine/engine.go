@@ -51,7 +51,25 @@ type Request struct {
 	// service sets this; Result.Traffic and Result.Cache then report
 	// cumulative cluster counters rather than this query's share.
 	Shared bool
+	// Prefetch is the IJ joiner's lookahead depth: while edge i builds and
+	// probes, the fetches for the sub-tables of edges i+1..i+Prefetch are
+	// issued in the background (through the singleflight cache), hiding
+	// network latency behind CPU work. 0 disables prefetching (the strict
+	// fetch→build→probe loop); DefaultPrefetch is what the CLI flags use.
+	// Prefetching changes overlap only — results, cost-model counters and
+	// per-fetch miss accounting are identical either way.
+	Prefetch int
+	// Parallelism bounds the hash-join kernel workers per build/probe:
+	// 0 = all CPUs, 1 = serial, n = at most n goroutines. Small sub-tables
+	// run serially regardless. Output is byte-identical for every setting.
+	Parallelism int
 }
+
+// DefaultPrefetch is the lookahead depth the command-line tools use when
+// the -prefetch flag is not given: deep enough to overlap the next edge's
+// two fetches with the current edge's compute, shallow enough to stay
+// within the paper's cache memory assumption.
+const DefaultPrefetch = 2
 
 // Validate checks the request.
 func (r Request) Validate() error {

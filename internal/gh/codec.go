@@ -11,15 +11,20 @@ import (
 // Spill buckets are raw row-major float32 records: the schema is known to
 // both phases, so no framing is needed, and the on-disk byte count equals
 // rows × record size — the quantity the cost model charges for.
+//
+// encodeRows writes into a pooled buffer (tuple.GetBuf): both simio stores
+// copy on Append, so spill callers release the buffer with tuple.PutBuf
+// right after the write and steady-state spilling allocates nothing.
 
 func encodeRows(st *tuple.SubTable) []byte {
 	na := st.Schema.NumAttrs()
-	out := make([]byte, 0, st.Bytes())
-	var buf [4]byte
+	size := st.NumRows() * na * 4
+	out := tuple.GetBuf(size)[:size]
+	off := 0
 	for r := 0; r < st.NumRows(); r++ {
 		for c := 0; c < na; c++ {
-			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(st.Value(r, c)))
-			out = append(out, buf[:]...)
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(st.Value(r, c)))
+			off += 4
 		}
 	}
 	return out
@@ -33,9 +38,11 @@ func decodeRows(schema tuple.Schema, data []byte, bucket int32) (*tuple.SubTable
 	}
 	rows := len(data) / rec
 	na := schema.NumAttrs()
+	// One backing array for all columns keeps decode at two allocations.
+	backing := make([]float32, na*rows)
 	cols := make([][]float32, na)
 	for c := range cols {
-		cols[c] = make([]float32, rows)
+		cols[c] = backing[c*rows : (c+1)*rows : (c+1)*rows]
 	}
 	off := 0
 	for r := 0; r < rows; r++ {

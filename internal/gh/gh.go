@@ -384,7 +384,9 @@ func (e *Engine) scanTable(ctx context.Context, cl *cluster.Cluster, sd side, gr
 		wg.Add(1)
 		go func(s int, descs []*chunk.Desc) {
 			defer wg.Done()
-			// Per-group outgoing batches.
+			// Per-group outgoing batches, reused across shipments: add()
+			// copies every row out synchronously, so a shipped batch can
+			// be Reset and refilled instead of reallocated.
 			var schema tuple.Schema
 			batches := make([]*tuple.SubTable, nj)
 			var keyIdxs []int
@@ -411,7 +413,8 @@ func (e *Engine) scanTable(ctx context.Context, cl *cluster.Cluster, sd side, gr
 						errs[s] = err
 						return
 					}
-					row = make([]float32, schema.NumAttrs())
+					row = tuple.GetRow(schema.NumAttrs())
+					defer tuple.PutRow(row)
 				}
 				for r := 0; r < st.NumRows(); r++ {
 					g := int(h1(st.Key(r, keyIdxs)) % uint64(nj))
@@ -427,7 +430,7 @@ func (e *Engine) scanTable(ctx context.Context, cl *cluster.Cluster, sd side, gr
 							errs[s] = err
 							return
 						}
-						batches[g] = tuple.NewSubTable(tuple.ID{Table: st.ID.Table, Chunk: -1}, schema, sp.batchRows)
+						batches[g].Reset()
 					}
 				}
 			}
@@ -602,7 +605,8 @@ func (p *partitioner) add(batch *tuple.SubTable, keyIdxs []int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	nb := uint64(len(p.buckets))
-	row := make([]float32, p.schema.NumAttrs())
+	row := tuple.GetRow(p.schema.NumAttrs())
+	defer tuple.PutRow(row)
 	for r := 0; r < batch.NumRows(); r++ {
 		k := int(h2(batch.Key(r, keyIdxs)) % nb)
 		p.buckets[k].AppendRow(batch.Row(r, row)...)
@@ -625,9 +629,11 @@ func (p *partitioner) spill(k int) error {
 	start := time.Now()
 	data := encodeRows(b)
 	if err := p.disk.Append(p.object(k), data); err != nil {
+		tuple.PutBuf(data)
 		return err
 	}
 	p.rec.Span(p.node, trace.KindSpill, p.object(k), start, int64(len(data)), int64(b.NumRows()))
+	tuple.PutBuf(data) // Append copied; recycle the encode buffer
 	p.rows[k] += int64(b.NumRows())
 	b.Reset()
 	return nil
@@ -757,7 +763,7 @@ func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label st
 	}
 
 	buildStart := time.Now()
-	ht, err := hashjoin.Build(left, req.JoinAttrs, wf, stats)
+	ht, err := hashjoin.BuildParallel(left, req.JoinAttrs, wf, req.Parallelism, stats)
 	if err != nil {
 		return err
 	}
@@ -765,7 +771,7 @@ func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label st
 	req.Trace.Span(lp.node, trace.KindBuild, label, buildStart,
 		int64(left.Bytes()), int64(left.NumRows()))
 	probeStart := time.Now()
-	if _, err := ht.Probe(right, req.JoinAttrs, wf, out, stats); err != nil {
+	if _, err := ht.ProbeParallel(right, req.JoinAttrs, wf, req.Parallelism, out, stats); err != nil {
 		return err
 	}
 	cn.SpendCPU(int64(right.NumRows()) * int64(wf))
@@ -780,7 +786,8 @@ func splitBySaltedHash(st *tuple.SubTable, keyIdxs []int, salt uint64) []*tuple.
 	for i := range subs {
 		subs[i] = tuple.NewSubTable(st.ID, st.Schema, st.NumRows()/overflowFanout+1)
 	}
-	row := make([]float32, st.Schema.NumAttrs())
+	row := tuple.GetRow(st.Schema.NumAttrs())
+	defer tuple.PutRow(row)
 	for r := 0; r < st.NumRows(); r++ {
 		i := int(h3(st.Key(r, keyIdxs), salt) % overflowFanout)
 		subs[i].AppendRow(st.Row(r, row)...)
@@ -796,9 +803,11 @@ func roundTrip(p *partitioner, label string, st *tuple.SubTable) (*tuple.SubTabl
 	data := encodeRows(st)
 	start := time.Now()
 	if err := p.disk.Append(name, data); err != nil {
+		tuple.PutBuf(data)
 		return nil, err
 	}
 	p.rec.Span(p.node, trace.KindSpill, name, start, int64(len(data)), int64(st.NumRows()))
+	tuple.PutBuf(data)
 	start = time.Now()
 	back, err := p.disk.ReadRange(name, 0, -1)
 	if err != nil {

@@ -219,30 +219,3 @@ func TestSingleKeyJoin(t *testing.T) {
 		t.Errorf("expected r_y in schema %v", out.Schema.Names())
 	}
 }
-
-func BenchmarkBuild(b *testing.B) {
-	left, _ := makePair(1<<16, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Build(left, []string{"x", "y"}, 1, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(1<<16), "ns/tuple")
-}
-
-func BenchmarkProbe(b *testing.B) {
-	left, right := makePair(1<<16, 1)
-	ht, err := Build(left, []string{"x", "y"}, 1, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out := tuple.NewSubTable(tuple.ID{}, left.Schema.JoinResult(right.Schema, []string{"x", "y"}, "r_"), right.NumRows())
-		if _, err := ht.Probe(right, []string{"x", "y"}, 1, out, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(1<<16), "ns/tuple")
-}

@@ -319,6 +319,17 @@ func mergeStats(dst, src *hashjoin.Stats) {
 // runJoiner executes one slot's schedule on compute node exec. The output
 // sub-table keeps the slot's id, so results do not depend on which node
 // ran the work.
+//
+// With req.Prefetch > 0 the joiner overlaps I/O with compute: before
+// working edge i it issues background cachedFetch calls for this edge's
+// right sub-table and both sub-tables of edges i+1..i+Prefetch. Stage-2's
+// lexicographic edge order makes the lookahead exact — the fetches issued
+// are precisely the ones the strict loop would issue next — and the Flight
+// singleflight makes the foreground fetch join the in-flight prefetch
+// rather than duplicate it. Prefetch failures are swallowed here: the
+// foreground fetch retries and surfaces any real error, and on early exit
+// (error, cancellation, injected crash) the deferred cancel-and-wait below
+// reaps every in-flight prefetch before the slot is re-assigned.
 func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec int, sched []edge, req engine.Request,
 	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
 	stats *hashjoin.Stats) (*tuple.SubTable, error) {
@@ -328,12 +339,54 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 	node := fmt.Sprintf("joiner-%d", slot)
 	leftSig := cluster.Signature(&leftFilter, project)
 	rightSig := cluster.Signature(&rightFilter, project)
+
+	depth := req.Prefetch
+	var (
+		pwg     sync.WaitGroup
+		pctx    context.Context
+		pcancel context.CancelFunc
+		issued  map[cluster.FetchKey]struct{}
+	)
+	if depth > 0 {
+		pctx, pcancel = context.WithCancel(ctx)
+		defer pwg.Wait() // runs after pcancel: cancel, then reap
+		defer pcancel()
+		issued = make(map[cluster.FetchKey]struct{})
+	}
+	// prefetch launches one background fetch per distinct key; issued is
+	// only touched by the foreground loop. The background path peeks the
+	// cache stat-free and joins the Flight group, so the cache hit/miss
+	// counters keep reflecting foreground demand only: a sub-table still
+	// in flight when the joiner needs it counts as the same single miss
+	// the strict loop would record.
+	prefetch := func(id tuple.ID, sig uint64, filter *metadata.Range) {
+		key := cluster.FetchKey{ID: id, Sig: sig}
+		if _, done := issued[key]; done {
+			return
+		}
+		issued[key] = struct{}{}
+		if _, ok := cn.Cache.Peek(key); ok {
+			return
+		}
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			start := time.Now()
+			st, err := e.flightFetch(pctx, cl, exec, node, key, id, filter, project, req.Trace)
+			if err != nil {
+				return
+			}
+			req.Trace.Span(node, trace.KindPrefetch, id.String(), start,
+				int64(st.Bytes()), int64(st.NumRows()))
+		}()
+	}
+
 	var (
 		ht     *hashjoin.HashTable
 		htLeft tuple.ID
 		haveHT bool
 	)
-	for _, ed := range sched {
+	for i, ed := range sched {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -342,13 +395,20 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		if err := cl.Config.Faults.Op(fault.ComputeNode(exec), fault.OpEdge); err != nil {
 			return nil, err
 		}
+		if depth > 0 {
+			prefetch(ed.right, rightSig, &rightFilter) // overlaps this edge's build
+			for d := 1; d <= depth && i+d < len(sched); d++ {
+				prefetch(sched[i+d].left, leftSig, &leftFilter)
+				prefetch(sched[i+d].right, rightSig, &rightFilter)
+			}
+		}
 		left, err := e.cachedFetch(ctx, cl, exec, node, ed.left, leftSig, &leftFilter, project, req.Trace)
 		if err != nil {
 			return nil, err
 		}
 		if !haveHT || htLeft != ed.left {
 			start := time.Now()
-			ht, err = hashjoin.Build(left, req.JoinAttrs, wf, stats)
+			ht, err = hashjoin.BuildParallel(left, req.JoinAttrs, wf, req.Parallelism, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +422,7 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := ht.Probe(right, req.JoinAttrs, wf, out, stats); err != nil {
+		if _, err := ht.ProbeParallel(right, req.JoinAttrs, wf, req.Parallelism, out, stats); err != nil {
 			return nil, err
 		}
 		cn.SpendCPU(int64(right.NumRows()) * int64(wf))
@@ -385,15 +445,25 @@ func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, no
 	if st, ok := cn.Cache.Get(key); ok {
 		return st, nil
 	}
+	return e.flightFetch(ctx, cl, j, node, key, id, filter, project, rec)
+}
+
+// flightFetch is cachedFetch after the demand-path cache probe: it joins
+// the node's Flight group for key and, as leader, fetches from the owning
+// BDS and populates the cache. Prefetchers enter here directly so their
+// speculative lookups never touch the cache's hit/miss counters.
+func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, key cluster.FetchKey, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
+	cn := cl.Compute[j]
 	st, _, err := cn.Flight.Do(ctx, key, func() (*tuple.SubTable, error) {
 		// Another query may have populated the cache while this caller
 		// was queued behind a leader that then failed or was cancelled.
-		// (Contains first: a stat-free check, so the common path's
-		// miss accounting stays one-miss-per-fetch.)
-		if cn.Cache.Contains(key) {
-			if st, ok := cn.Cache.Get(key); ok {
-				return st, nil
-			}
+		// Peek is one racy-window-free lookup (a single critical section,
+		// unlike the old Contains-then-Get pair, which could observe the
+		// entry and then lose it to an eviction between the two calls) and
+		// is stat-free, so the common path's miss accounting stays
+		// one-miss-per-fetch: only the demand-path Get above counts.
+		if st, ok := cn.Cache.Peek(key); ok {
+			return st, nil
 		}
 		start := time.Now()
 		st, err := cl.FetchProjected(ctx, j, id, filter, project)

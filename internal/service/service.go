@@ -60,6 +60,11 @@ type Config struct {
 	// zero triggers a one-time calibration in New.
 	AlphaBuild  float64
 	AlphaLookup float64
+	// Prefetch and Parallelism are server-side defaults for the matching
+	// engine.Request knobs, applied to submitted queries that leave them
+	// zero (a query may still set its own values).
+	Prefetch    int
+	Parallelism int
 }
 
 // Query is one submission.
@@ -208,6 +213,12 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	queueWait := time.Since(enqueued)
 	req := q.Req
 	req.Shared = true
+	if req.Prefetch == 0 {
+		req.Prefetch = s.cfg.Prefetch
+	}
+	if req.Parallelism == 0 {
+		req.Parallelism = s.cfg.Parallelism
+	}
 	req.Trace.Span("service", trace.KindQueue, eng.Name(), enqueued, w.weight, 0)
 	runStart := time.Now()
 	before := s.cl.HealthStats()

@@ -26,6 +26,7 @@ const (
 	KindSpill      Kind = "spill"      // GH bucket write to scratch disk
 	KindBucketRead Kind = "bucketread" // GH bucket read back
 	KindRecover    Kind = "recover"    // work re-run after a node failure
+	KindPrefetch   Kind = "prefetch"   // IJ lookahead fetch overlapping build/probe
 )
 
 // Event kinds emitted by the concurrent query service.

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"sciview/internal/tuple"
 )
 
 // TCP is a Transport over real TCP sockets on the loopback (or any)
@@ -147,7 +149,16 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			return // client closed, shutdown nudge, or framing error
 		}
 		resp, herr := s.h(method, payload)
-		if werr := writeResponse(conn, resp, herr); werr != nil {
+		werr := writeResponse(conn, resp, herr)
+		// The exchange is over: recycle the request payload and the
+		// handler's response buffer (see Handler's ownership contract).
+		// Guard the unlikely case of a handler echoing its input back.
+		aliased := len(resp) > 0 && len(payload) > 0 && &resp[0] == &payload[0]
+		tuple.PutBuf(payload)
+		if !aliased {
+			tuple.PutBuf(resp)
+		}
+		if werr != nil {
 			return
 		}
 		select {
@@ -196,20 +207,22 @@ func readRequest(r io.Reader) (string, []byte, error) {
 	if plen > 1<<30 {
 		return "", nil, fmt.Errorf("transport: oversized payload %d", plen)
 	}
-	payload := make([]byte, plen)
+	payload := tuple.GetBuf(int(plen))[:plen]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		tuple.PutBuf(payload)
 		return "", nil, err
 	}
 	return string(mbuf), payload, nil
 }
 
 func writeRequest(w io.Writer, method string, payload []byte) error {
-	buf := make([]byte, 0, 2+len(method)+4+len(payload))
+	buf := tuple.GetBuf(2 + len(method) + 4 + len(payload))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(method)))
 	buf = append(buf, method...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	tuple.PutBuf(buf)
 	return err
 }
 
@@ -231,17 +244,18 @@ func writeResponse(w io.Writer, resp []byte, herr error) error {
 			status = statusTimeout
 		}
 		msg := herr.Error()
-		buf = make([]byte, 0, 1+4+len(msg))
+		buf = tuple.GetBuf(1 + 4 + len(msg))
 		buf = append(buf, status)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
 		buf = append(buf, msg...)
 	} else {
-		buf = make([]byte, 0, 1+4+len(resp))
+		buf = tuple.GetBuf(1 + 4 + len(resp))
 		buf = append(buf, statusOK)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp)))
 		buf = append(buf, resp...)
 	}
 	_, err := w.Write(buf)
+	tuple.PutBuf(buf)
 	return err
 }
 
@@ -257,8 +271,9 @@ func readResponse(r io.Reader) ([]byte, byte, error) {
 	if n > 1<<30 {
 		return nil, 0, fmt.Errorf("transport: oversized response %d", n)
 	}
-	body := make([]byte, n)
+	body := tuple.GetBuf(int(n))[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		tuple.PutBuf(body)
 		return nil, 0, err
 	}
 	return body, status[0], nil

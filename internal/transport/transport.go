@@ -18,6 +18,14 @@ import (
 // Handler processes one request addressed to a service method and returns
 // the response payload. Errors are propagated to the caller as
 // *RemoteError values.
+//
+// Ownership: payload is valid only for the duration of the call — handlers
+// that need it later must copy. Conversely, the returned response buffer
+// belongs to the transport once the handler returns (the TCP server
+// recycles it through the tuple buffer pool after writing the frame), so
+// handlers must not retain it either. All gob/codec handlers satisfy this
+// naturally: decoding copies out of payload, and each response is encoded
+// into a fresh (typically pooled) buffer.
 type Handler func(method string, payload []byte) ([]byte, error)
 
 // Conn is a client connection to one service.

@@ -35,27 +35,40 @@ func EncodedSize(st *SubTable) int {
 
 // Encode serializes st into the wire format, appending to dst (which may be
 // nil) and returning the extended slice.
+//
+// The encoded size is known exactly up front (EncodedSize), so Encode grows
+// dst once and then writes by offset: a single allocation when dst is nil
+// (or GetBuf-sized), zero when dst already has the capacity — no append
+// doubling on the hot transfer path.
 func Encode(dst []byte, st *SubTable) []byte {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], codecMagic)
-	dst = append(dst, buf[:]...)
-	binary.LittleEndian.PutUint32(buf[:], uint32(st.ID.Table))
-	dst = append(dst, buf[:]...)
-	binary.LittleEndian.PutUint32(buf[:], uint32(st.ID.Chunk))
-	dst = append(dst, buf[:]...)
-	dst = append(dst, byte(len(st.Schema.Attrs)), byte(len(st.Schema.Attrs)>>8))
-	for _, a := range st.Schema.Attrs {
-		dst = append(dst, byte(len(a.Name)), byte(len(a.Name)>>8))
-		dst = append(dst, a.Name...)
-		dst = append(dst, byte(a.Kind))
+	size := EncodedSize(st)
+	start := len(dst)
+	if cap(dst)-start < size {
+		grown := make([]byte, start, start+size)
+		copy(grown, dst)
+		dst = grown
 	}
-	binary.LittleEndian.PutUint32(buf[:], uint32(st.NumRows()))
-	dst = append(dst, buf[:]...)
+	dst = dst[:start+size]
+	b := dst[start:]
+
+	binary.LittleEndian.PutUint32(b[0:], codecMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(st.ID.Table))
+	binary.LittleEndian.PutUint32(b[8:], uint32(st.ID.Chunk))
+	binary.LittleEndian.PutUint16(b[12:], uint16(len(st.Schema.Attrs)))
+	off := 14
+	for _, a := range st.Schema.Attrs {
+		binary.LittleEndian.PutUint16(b[off:], uint16(len(a.Name)))
+		off += 2
+		off += copy(b[off:], a.Name)
+		b[off] = byte(a.Kind)
+		off++
+	}
+	binary.LittleEndian.PutUint32(b[off:], uint32(st.NumRows()))
+	off += 4
 	for c := 0; c < st.Schema.NumAttrs(); c++ {
-		col := st.Col(c)
-		for _, v := range col {
-			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
-			dst = append(dst, buf[:]...)
+		for _, v := range st.Col(c) {
+			binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
+			off += 4
 		}
 	}
 	return dst
@@ -99,9 +112,11 @@ func Decode(src []byte) (*SubTable, int, error) {
 	if len(src) < off+need {
 		return nil, 0, fmt.Errorf("tuple: short buffer: need %d column bytes, have %d", need, len(src)-off)
 	}
+	// One backing array for all columns: numAttrs+1 allocations become 2.
+	backing := make([]float32, numAttrs*rows)
 	cols := make([][]float32, numAttrs)
 	for c := 0; c < numAttrs; c++ {
-		col := make([]float32, rows)
+		col := backing[c*rows : (c+1)*rows : (c+1)*rows]
 		for r := 0; r < rows; r++ {
 			col[r] = math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))
 			off += 4

@@ -311,31 +311,3 @@ func TestDecodeConcatenatedStream(t *testing.T) {
 		t.Fatalf("second decode: %v", err)
 	}
 }
-
-func BenchmarkEncode(b *testing.B) {
-	st := NewSubTable(ID{}, testSchema(), 4096)
-	for i := 0; i < 4096; i++ {
-		st.AppendRow(float32(i), float32(i*3), float32(i%7), float32(i)/10)
-	}
-	b.SetBytes(int64(EncodedSize(st)))
-	var buf []byte
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf = Encode(buf[:0], st)
-	}
-}
-
-func BenchmarkDecode(b *testing.B) {
-	st := NewSubTable(ID{}, testSchema(), 4096)
-	for i := 0; i < 4096; i++ {
-		st.AppendRow(float32(i), float32(i), float32(i), float32(i))
-	}
-	enc := Encode(nil, st)
-	b.SetBytes(int64(len(enc)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := Decode(enc); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

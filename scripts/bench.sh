@@ -1,0 +1,68 @@
+#!/bin/sh
+# Microbenchmark harness for the pipelined-joiner work: runs the hash-join
+# kernel benches (map baseline vs flat table, serial vs parallel), the
+# tuple codec benches (seed append-growth encoder vs pooled single-shot)
+# and the end-to-end IJ workload (prefetch off vs on), all with -benchmem,
+# and writes the parsed results plus headline ratios to BENCH_pr3.json.
+#
+#   scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr3.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
+go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
+    ./internal/hashjoin/ | tee -a "$raw"
+
+echo "== tuple codec (Encode: seed vs pooled; Decode)"
+go test -run '^$' -bench 'BenchmarkEncode|BenchmarkDecode' -benchtime 200x -benchmem \
+    ./internal/tuple/ | tee -a "$raw"
+
+echo "== IJ workload (throttled cluster, prefetch off vs on)"
+go test -run '^$' -bench BenchmarkIJWorkload -benchtime 5x -benchmem \
+    ./internal/ij/ | tee -a "$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bop[name] = $(i-1)
+        if ($i == "allocs/op") aop[name] = $(i-1)
+        if ($i == "MB/s")      mbs[name] = $(i-1)
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", k, ns[k]
+        if (k in mbs) printf ", \"mb_per_s\": %s", mbs[k]
+        if (k in bop) printf ", \"bytes_per_op\": %s", bop[k]
+        if (k in aop) printf ", \"allocs_per_op\": %s", aop[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    bm = ns["BenchmarkBuild/map/n=262144"];  bf = ns["BenchmarkBuild/flatpar/n=262144"]
+    pm = ns["BenchmarkProbe/map/n=262144"]; pf = ns["BenchmarkProbe/flatpar/n=262144"]
+    es = ns["BenchmarkEncode/seed/n=65536"]; ep = ns["BenchmarkEncode/pooled/n=65536"]
+    as = aop["BenchmarkEncode/seed/n=65536"]; ap = aop["BenchmarkEncode/pooled/n=65536"]
+    i0 = ns["BenchmarkIJWorkload/prefetch=0"]; i2 = ns["BenchmarkIJWorkload/prefetch=2"]
+    if (bm && bf) printf "    \"build_speedup_vs_map\": %.2f,\n", bm / bf
+    if (pm && pf) printf "    \"probe_speedup_vs_map\": %.2f,\n", pm / pf
+    if (bm && bf && pm && pf)
+        printf "    \"build_plus_probe_speedup_vs_map\": %.2f,\n", (bm + pm) / (bf + pf)
+    if (es && ep) printf "    \"encode_speedup_vs_seed\": %.2f,\n", es / ep
+    if (ap != "" && as) printf "    \"encode_allocs_reduction\": %.3f,\n", 1 - ap / as
+    if (i0 && i2) printf "    \"ij_prefetch_wallclock_reduction\": %.3f\n", 1 - i2 / i0
+    printf "  }\n}\n"
+}
+' "$raw" > "$out"
+
+echo "== wrote $out"
+cat "$out"

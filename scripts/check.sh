@@ -25,4 +25,13 @@ go test -race -short -count=1 -run TestServiceBenchShort .
 echo "== go test -race (chaos matrix: fault/retry/breaker + drop/delay/crash x IJ/GH)"
 go test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
 
+echo "== go test -race (parallel kernels + pipelined joiners, stressed)"
+go test -race -count=3 ./internal/hashjoin ./internal/ij ./internal/gh ./internal/tuple
+
+echo "== go test (GOMAXPROCS=1: parallel paths degrade to serial cleanly)"
+GOMAXPROCS=1 go test -count=1 ./internal/hashjoin ./internal/ij ./internal/gh
+
+echo "== bench smoke (kernels + codec, 100 iterations)"
+go test -run '^$' -bench . -benchtime 100x ./internal/hashjoin ./internal/tuple
+
 echo "OK"

@@ -13,6 +13,10 @@ import (
 	"sciview/internal/service"
 )
 
+// DefaultPrefetch re-exports engine.DefaultPrefetch so command-line tools
+// outside internal/ can use it as their flag default.
+const DefaultPrefetch = engine.DefaultPrefetch
+
 // ServiceBenchSpec configures the closed-loop multi-client benchmark of
 // the concurrent query service: Concurrency workers each submit the same
 // join-view query back-to-back for Duration, exercising admission
@@ -40,6 +44,11 @@ type ServiceBenchSpec struct {
 	// Faults is a deterministic chaos schedule (see internal/fault.Parse),
 	// e.g. "crash:storage-1:fetch:20". Empty disables injection.
 	Faults string
+	// Prefetch is the IJ joiner lookahead depth applied to every query
+	// (0 = disabled); Parallelism bounds the hash-join kernel workers
+	// (0 = all CPUs, 1 = serial).
+	Prefetch    int
+	Parallelism int
 }
 
 // ServiceBenchResult reports one benchmark run.
@@ -105,6 +114,7 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 
 	query := service.Query{Req: engine.Request{
 		LeftTable: "T1", RightTable: "T2", JoinAttrs: []string{"x", "y", "z"},
+		Prefetch: spec.Prefetch, Parallelism: spec.Parallelism,
 	}}
 	ctx, cancel := context.WithTimeout(context.Background(), spec.Duration)
 	defer cancel()
