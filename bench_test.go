@@ -47,6 +47,31 @@ func TestServiceBenchShort(t *testing.T) {
 	}
 }
 
+// TestServiceBenchShortSQL drives the same closed loop through the
+// streaming plan layer (-sql mode): every client lowers, gets admitted on
+// the plan's memory estimate and executes the operator DAG concurrently,
+// which puts the shared executor and reorder sinks under the race
+// detector.
+func TestServiceBenchShortSQL(t *testing.T) {
+	res, err := RunServiceBench(ServiceBenchSpec{
+		Concurrency:  4,
+		Duration:     500 * time.Millisecond,
+		StorageNodes: 2,
+		ComputeNodes: 2,
+		Engine:       "ij",
+		SQL:          "SELECT * FROM V1 WHERE x < 8 LIMIT 64",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no SQL queries completed in the window")
+	}
+	if res.Stats.Completed < res.Queries {
+		t.Errorf("stats completed %d < measured %d", res.Stats.Completed, res.Queries)
+	}
+}
+
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	var last *Experiment

@@ -11,8 +11,12 @@
 // With -concurrency N it instead drives the concurrent query service
 // closed-loop: N clients submit the same join back-to-back, reporting
 // throughput, latency percentiles, queue waits and the fetch-dedup rate.
+// Adding -sql routes every submission through the streaming plan layer
+// (lower, admit on the plan's memory estimate, execute the operator DAG),
+// so LIMIT early exit and pushdown show up in the latency numbers.
 //
 //	sciview-bench -concurrency 8 -duration 10s -max-inflight 4
+//	sciview-bench -concurrency 8 -sql 'SELECT * FROM V1 WHERE x < 8 LIMIT 64'
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		faults      = flag.String("faults", "", "chaos schedule for -concurrency, e.g. crash:storage-1:fetch:20 (see internal/fault)")
 		prefetch    = flag.Int("prefetch", sciview.DefaultPrefetch, "IJ joiner lookahead depth for -concurrency (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "hash-join kernel workers for -concurrency (0 = all CPUs, 1 = serial)")
+		sqlQuery    = flag.String("sql", "", "SQL SELECT each -concurrency client submits via the streaming plan layer (may use T1, T2 and view V1; empty = raw join request)")
 	)
 	flag.Parse()
 	if *concurrency > 0 {
@@ -61,6 +66,7 @@ func main() {
 			Faults:       *faults,
 			Prefetch:     *prefetch,
 			Parallelism:  *parallelism,
+			SQL:          *sqlQuery,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)
 		}

@@ -70,6 +70,7 @@ func main() {
       CREATE VIEW v2 AS SELECT * FROM v [WHERE ...]
       SELECT cols|*|AGG(col) FROM t [WHERE ...] [GROUP BY ...]
           [HAVING ...] [ORDER BY ...] [LIMIT n]
+      EXPLAIN SELECT ...    print the streaming plan, don't execute
 Shell: \engine ij|gh|auto   force or restore engine choice
        \explain <view>      cost-model comparison for a view
        \tables              list tables
@@ -105,6 +106,8 @@ Shell: \engine ij|gh|auto   force or restore engine choice
 			switch {
 			case res.ViewCreated != "":
 				fmt.Printf("view %s created\n", res.ViewCreated)
+			case res.Explain != "":
+				fmt.Print(res.Explain)
 			case res.Rows != nil:
 				res.Rows.WriteTo(os.Stdout, *maxRows)
 				if res.Plan != nil {

@@ -147,6 +147,33 @@ func Aggregate(inputs []*tuple.SubTable, items []query.SelectItem, groupBy []str
 	return out, nil
 }
 
+// AggSchema returns the output schema Aggregate and Partial.Finalize
+// produce for a specification, without evaluating anything: the group-by
+// attributes (original kinds) followed by one Measure column per item.
+// Plan construction uses it to type an aggregation node statically.
+func AggSchema(schema tuple.Schema, items []query.SelectItem, groupBy []string) (tuple.Schema, error) {
+	groupIdxs, err := schema.Indexes(groupBy)
+	if err != nil {
+		return tuple.Schema{}, err
+	}
+	for _, it := range items {
+		if it.Star || it.Agg == query.AggNone {
+			return tuple.Schema{}, fmt.Errorf("dds: aggregation requires aggregate items, got %+v", it)
+		}
+		if it.Attr != "*" && schema.Index(it.Attr) < 0 {
+			return tuple.Schema{}, fmt.Errorf("dds: no attribute %q to aggregate", it.Attr)
+		}
+	}
+	attrs := make([]tuple.Attr, 0, len(groupBy)+len(items))
+	for _, gi := range groupIdxs {
+		attrs = append(attrs, schema.Attrs[gi])
+	}
+	for _, it := range items {
+		attrs = append(attrs, tuple.Attr{Name: aggColName(it), Kind: tuple.Measure})
+	}
+	return tuple.Schema{Attrs: attrs}, nil
+}
+
 // aggColName derives the output column name of an aggregate item.
 func aggColName(it query.SelectItem) string {
 	name := map[query.Agg]string{

@@ -12,6 +12,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sciview/internal/cache"
@@ -63,6 +64,55 @@ type Request struct {
 	// 0 = all CPUs, 1 = serial, n = at most n goroutines. Small sub-tables
 	// run serially regardless. Output is byte-identical for every setting.
 	Parallelism int
+	// Sink, when non-nil, streams result batches out of the join as they
+	// are produced instead of materializing them: IJ emits after each edge
+	// probe, GH after each bucket-pair join. Batches are grouped by "part"
+	// (the IJ slot or GH group index) so a consumer can re-establish the
+	// deterministic slot/group order. When a sink is set, Collect is
+	// ignored and Result.Collected stays nil. Emitted sub-tables are owned
+	// by the sink; the engine allocates a fresh output table after each
+	// emit.
+	Sink Sink
+	// Progress, when non-nil, is updated with schedule-unit counts (IJ
+	// edges / GH bucket pairs) as the run proceeds. The counters survive
+	// an error return, so an early-terminated query can report how much of
+	// the join it actually executed.
+	Progress *Progress
+}
+
+// Sink consumes streamed join output. Engines call Emit from the
+// goroutine that owns the part (one goroutine per part at any time), Done
+// exactly once when a part's final attempt has produced all its batches,
+// and Discard when a failed attempt's output must be thrown away before a
+// replay (fault-tolerant re-execution). Emit may block to bound buffered
+// memory; it returns an error once the consumer has gone away, which the
+// engine surfaces as a failed run.
+type Sink interface {
+	Emit(part int, batch *tuple.SubTable) error
+	Done(part int)
+	Discard(part int)
+}
+
+// Progress counts join schedule units: edges for IJ, top-level bucket
+// pairs for GH. Total is set once the schedule is known; Joined is
+// incremented as units complete. Both are safe for concurrent readers
+// while a run is in flight.
+type Progress struct {
+	Joined atomic.Int64
+	Total  atomic.Int64
+}
+
+// OpStat is one operator's accounting in a streaming plan: rows/batches/
+// bytes that crossed its Next boundary and the wall-clock time spent
+// inside it. PeakBytes is operator-specific resident memory (e.g. the
+// join reorder buffer's high-water mark, or a sort's accumulated input).
+type OpStat struct {
+	Op        string
+	Rows      int64
+	Batches   int64
+	Bytes     int64
+	PeakBytes int64
+	Busy      time.Duration
 }
 
 // DefaultPrefetch is the lookahead depth the command-line tools use when
@@ -116,6 +166,15 @@ type Result struct {
 	// Phases records coarse phase durations (engine-specific keys, e.g.
 	// "partition" and "bucketjoin" for GH).
 	Phases map[string]time.Duration
+	// UnitsJoined/UnitsTotal count join schedule units (IJ edges, GH
+	// top-level bucket pairs) executed vs scheduled. A full run has
+	// UnitsJoined == UnitsTotal; an early-terminated streaming query
+	// reports the fraction it actually joined.
+	UnitsJoined int64
+	UnitsTotal  int64
+	// Operators holds per-operator statistics when the query ran through
+	// a streaming plan (internal/plan); nil for direct engine runs.
+	Operators []OpStat
 }
 
 // EffectiveProject returns the pushdown list the engines apply to each

@@ -200,6 +200,23 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	}
 	partElapsed := time.Since(partStart)
 
+	// Publish the phase-2 schedule size: one unit per non-empty bucket
+	// pair. flushWG.Wait() ordered the partition writes before this read.
+	// Joined counts executed pairs, so fault-driven group rebuilds can push
+	// it past Total; an undisturbed full run ends with Joined == Total.
+	prog := req.Progress
+	if prog == nil {
+		prog = &engine.Progress{}
+		req.Progress = prog
+	}
+	for _, grp := range groups {
+		for k := 0; k < buckets; k++ {
+			if grp.lp.rows[k] > 0 && grp.rp.rows[k] > 0 {
+				prog.Total.Add(1)
+			}
+		}
+	}
+
 	// Phase 2: every group's bucket pairs join independently on its
 	// executor. A group lost in phase 1 — or whose executor dies mid-join —
 	// is rebuilt from replicas on a survivor and re-joined from scratch;
@@ -243,7 +260,9 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		},
 	}
 	res.Tuples = res.Join.Matches
-	if req.Collect {
+	res.UnitsJoined = prog.Joined.Load()
+	res.UnitsTotal = prog.Total.Load()
+	if req.Collect && req.Sink == nil {
 		res.Collected = results
 	}
 	return res, nil
@@ -500,11 +519,17 @@ func (e *Engine) runGroup(ctx context.Context, cl *cluster.Cluster, grp *group, 
 		out, err := e.joinBuckets(ctx, cl.Compute[grp.exec], grp, req, wf, buckets, outSchema, &local)
 		if err == nil {
 			mergeStats(stats, &local)
+			if req.Sink != nil {
+				req.Sink.Done(grp.g)
+			}
 			return out, nil
 		}
 		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(grp.exec) {
 			// The executor died mid-join: its partitions and partial output
 			// are gone. Rebuild on a survivor and join from scratch.
+			if req.Sink != nil {
+				req.Sink.Discard(grp.g)
+			}
 			grp.lost.Store(true)
 			cl.Health.Recoveries.Add(1)
 			continue
@@ -700,7 +725,19 @@ func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, grp *
 		if err := e.joinPair(cn, lp, rp, fmt.Sprintf("b%d", k), left, right, req, wf, out, stats, 0, 0); err != nil {
 			return nil, err
 		}
-		if !req.Collect {
+		if req.Progress != nil {
+			req.Progress.Joined.Add(1)
+		}
+		if req.Sink != nil {
+			// Stream this bucket pair's output. Emit hands ownership of the
+			// batch to the sink, so start a fresh table for the next pair.
+			if out.NumRows() > 0 {
+				if err := req.Sink.Emit(grp.g, out); err != nil {
+					return nil, err
+				}
+				out = tuple.NewSubTable(tuple.ID{Table: -2, Chunk: int32(grp.g)}, outSchema, 0)
+			}
+		} else if !req.Collect {
 			out.Reset()
 		}
 		if err := lp.deleteBucket(k); err != nil {

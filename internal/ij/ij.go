@@ -145,6 +145,19 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	nj := len(cl.Compute)
 	schedules := e.buildSchedules(comps, leftDescs, rightDescs, nj, cl.Config.CacheBytes)
 
+	// Publish the schedule size so streaming consumers can report the
+	// fraction of edges an early-terminated query actually joined. Joined
+	// counts executed edges, so fault-driven replays can push it past
+	// Total; an undisturbed full run ends with Joined == Total.
+	prog := req.Progress
+	if prog == nil {
+		prog = &engine.Progress{}
+		req.Progress = prog
+	}
+	for _, sched := range schedules {
+		prog.Total.Add(int64(len(sched)))
+	}
+
 	project := req.EffectiveProject()
 	outSchema := engine.ProjectedSchema(leftDef.Schema, project).
 		JoinResult(engine.ProjectedSchema(rightDef.Schema, project), req.JoinAttrs, "r_")
@@ -180,13 +193,15 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		Phases:  map[string]time.Duration{},
 	}
 	res.Tuples = res.Join.Matches
+	res.UnitsJoined = prog.Joined.Load()
+	res.UnitsTotal = prog.Total.Load()
 	for _, cn := range cl.Compute {
 		s := cn.Cache.Stats()
 		res.Cache.Hits += s.Hits
 		res.Cache.Misses += s.Misses
 		res.Cache.Evictions += s.Evictions
 	}
-	if req.Collect {
+	if req.Collect && req.Sink == nil {
 		res.Collected = results
 	}
 	return res, nil
@@ -281,11 +296,17 @@ func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sch
 			leftFilter, rightFilter, project, outSchema, &local)
 		if err == nil {
 			mergeStats(stats, &local)
+			if req.Sink != nil {
+				req.Sink.Done(slot)
+			}
 			return out, nil
 		}
 		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(exec) {
 			// The executor itself died. Discard its partial work and hand
 			// the slot to a survivor.
+			if req.Sink != nil {
+				req.Sink.Discard(slot)
+			}
 			cl.Health.Recoveries.Add(1)
 			start := time.Now()
 			req.Trace.Span(fmt.Sprintf("joiner-%d", slot), trace.KindRecover,
@@ -428,7 +449,20 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		cn.SpendCPU(int64(right.NumRows()) * int64(wf))
 		req.Trace.Span(node, trace.KindProbe, ed.right.String(), start,
 			int64(right.Bytes()), int64(right.NumRows()))
-		if !req.Collect {
+		if req.Progress != nil {
+			req.Progress.Joined.Add(1)
+		}
+		if req.Sink != nil {
+			// Stream this edge's output. Emit hands ownership of the batch
+			// to the sink, so start a fresh table for the next edge; empty
+			// probes emit nothing and reuse the table.
+			if out.NumRows() > 0 {
+				if err := req.Sink.Emit(slot, out); err != nil {
+					return nil, err
+				}
+				out = tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
+			}
+		} else if !req.Collect {
 			out.Reset()
 		}
 	}

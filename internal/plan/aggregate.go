@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"sciview/internal/dds"
+	"sciview/internal/tuple"
+)
+
+// aggregateOp is the blocking aggregation operator. To keep float
+// accumulation byte-identical to the materialized distributed aggregation
+// — which folded each joiner's output into its own dds.Partial and merged
+// the partials in joiner order — it starts a new partial whenever the
+// incoming batch ID changes (the reorder sink delivers each part's
+// batches contiguously and in part order) and merges the partials in that
+// same order at the end. For single-partition sources (table scans,
+// Partitioned=false) every batch folds into one partial, matching the
+// materialized single-input fold.
+type aggregateOp struct {
+	opstat
+	node    *AggregateNode
+	child   Operator
+	emitted bool
+}
+
+func (o *aggregateOp) Schema() tuple.Schema { return o.node.schema }
+
+func (o *aggregateOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
+
+func (o *aggregateOp) Next() (*tuple.SubTable, error) {
+	start := time.Now()
+	defer o.timed(start)
+	if o.emitted {
+		return nil, io.EOF
+	}
+	o.emitted = true
+
+	n := o.node
+	inSchema := o.child.Schema()
+	var (
+		parts []*dds.Partial
+		cur   *dds.Partial
+		curID tuple.ID
+	)
+	for {
+		st, err := o.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil || (n.Partitioned && st.ID != curID) {
+			cur, err = dds.NewPartial(inSchema, n.Items, n.GroupBy, n.Having)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, cur)
+			curID = st.ID
+		}
+		if err := cur.Fold(st); err != nil {
+			return nil, err
+		}
+	}
+	// Merge in part order into an empty base: group state lands exactly as
+	// the materialized path's first-partial-accumulates merge produced it.
+	base, err := dds.NewPartial(inSchema, n.Items, n.GroupBy, n.Having)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		if err := base.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	out, err := base.Finalize(n.Having)
+	if err != nil {
+		return nil, err
+	}
+	o.s.PeakBytes = int64(out.Bytes())
+	o.observe(out)
+	return out, nil
+}
+
+func (o *aggregateOp) Close() error { return o.child.Close() }

@@ -1,0 +1,572 @@
+// Package plan is the streaming execution layer between the SQL planner
+// and the join engines: a typed plan DAG (Scan, Filter, Project, Join,
+// Aggregate, Sort, Limit) plus a batch-iterator Operator interface that
+// evaluates it without materializing whole intermediate results.
+//
+// A plan is the recipe the planner lowers a SELECT into. Sources stream
+// batches — a table scan fetches chunks through a bounded lookahead
+// window, a join receives engine output per IJ edge or GH bucket pair
+// through an order-restoring sink — and the operators above them consume
+// batches incrementally. Blocking operators (Sort, Aggregate) absorb
+// their input and emit once; Limit stops pulling when satisfied and its
+// Close cancels the engine run mid-join, so a `SELECT ... LIMIT n`
+// executes only the fraction of the edge/bucket schedule it needed.
+//
+// Results are byte-identical to the fully-materialized execution path:
+// batches are released in slot/group order (the order the materialized
+// concat used), aggregation keeps one partial per part and merges in part
+// order (float sums group identically), and Sort replicates the
+// materialized order-and-limit on the identically-ordered accumulated
+// rows.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sciview/internal/cluster"
+	"sciview/internal/costmodel"
+	"sciview/internal/dds"
+	"sciview/internal/engine"
+	"sciview/internal/metadata"
+	"sciview/internal/query"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Node is one vertex of the plan DAG. Nodes are typed data: they carry
+// the logical description (for EXPLAIN) and the physical recipe (cluster,
+// engine, request) their operator executes.
+type Node interface {
+	// Schema is the node's statically-known output schema.
+	Schema() tuple.Schema
+	// Children returns the input nodes (display order).
+	Children() []Node
+	describe() string
+}
+
+// Plan is a lowered statement ready to execute or explain.
+type Plan struct {
+	Root Node
+	// OutID is the ID of the assembled result table, matching what the
+	// materialized path produced ({-1,-1} for row output, {-3,-1} for
+	// aggregates).
+	OutID tuple.ID
+	// Trace, when non-nil, receives one KindOperator span per operator.
+	Trace *trace.Recorder
+}
+
+// maxBufferedBatches bounds the reorder sink's per-part buffer: a join
+// part that runs ahead of the part currently being drained blocks after
+// this many undelivered batches, throttling producers instead of
+// materializing the join.
+const maxBufferedBatches = 8
+
+// Join returns the plan's join node, or nil for join-free plans. Callers
+// use it to adjust the engine request (shared mode, prefetch,
+// parallelism) before running.
+func (p *Plan) Join() *JoinNode {
+	var find func(n Node) *JoinNode
+	find = func(n Node) *JoinNode {
+		if j, ok := n.(*JoinNode); ok {
+			return j
+		}
+		for _, c := range n.Children() {
+			if j := find(c); j != nil {
+				return j
+			}
+		}
+		return nil
+	}
+	return find(p.Root)
+}
+
+// ---------------------------------------------------------------------
+// Scan
+
+// ScanNode reads one base table: the selection/projection DDS over a BDS
+// table, streamed chunk by chunk. As a child of a JoinNode it is
+// descriptive only — it shows the per-side filter and the pushed-down
+// projection the engine applies during its own fetches.
+type ScanNode struct {
+	Cluster *cluster.Cluster
+	Table   string
+	Preds   []query.Pred
+	// Proj lists the output attributes in order; nil keeps the table
+	// schema.
+	Proj []string
+
+	joinSide bool
+	filter   metadata.Range
+	schema   tuple.Schema
+	descs    []tuple.ID
+	estRows  int64
+}
+
+// NewScan builds an executable table scan, validating the predicates and
+// projection against the catalog and resolving the chunks in range.
+func NewScan(cl *cluster.Cluster, table string, preds []query.Pred, proj []string) (*ScanNode, error) {
+	def, err := cl.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var mine []query.Pred
+	for _, p := range preds {
+		if def.Schema.Index(p.Attr) < 0 {
+			return nil, fmt.Errorf("plan: table %s has no attribute %q", table, p.Attr)
+		}
+		mine = append(mine, p)
+	}
+	schema := def.Schema
+	if proj != nil {
+		s, _, err := def.Schema.Project(proj)
+		if err != nil {
+			return nil, err
+		}
+		schema = s
+	}
+	filter := query.ToRange(mine)
+	descs, err := cl.Catalog.ChunksInRange(table, filter)
+	if err != nil {
+		return nil, err
+	}
+	n := &ScanNode{
+		Cluster: cl, Table: table, Preds: mine, Proj: proj,
+		filter: filter, schema: schema,
+	}
+	for _, d := range descs {
+		n.descs = append(n.descs, d.ID())
+		n.estRows += int64(d.Rows)
+	}
+	return n, nil
+}
+
+// joinInputScan describes one side of a join for EXPLAIN: the engine does
+// the actual fetching with this filter and projection pushed down.
+func joinInputScan(cl *cluster.Cluster, table string, schema tuple.Schema, filter metadata.Range, proj []string) *ScanNode {
+	return &ScanNode{
+		Cluster: cl, Table: table, Proj: proj,
+		joinSide: true, filter: filter, schema: schema,
+	}
+}
+
+func (n *ScanNode) Schema() tuple.Schema { return n.schema }
+func (n *ScanNode) Children() []Node     { return nil }
+
+func (n *ScanNode) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scan(%s)", n.Table)
+	if len(n.filter.Attrs) > 0 {
+		b.WriteString(" filter[")
+		for i, a := range n.filter.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s ∈ [%g, %g]", a, n.filter.Lo[i], n.filter.Hi[i])
+		}
+		b.WriteString("]")
+	}
+	if n.Proj != nil {
+		fmt.Fprintf(&b, " project[%s]", strings.Join(n.Proj, ", "))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Join
+
+// JoinCost is the cost-model decision attached to a join node, rendered
+// by EXPLAIN.
+type JoinCost struct {
+	Chosen    string
+	Forced    bool
+	Params    costmodel.Params
+	PredictIJ costmodel.Breakdown
+	PredictGH costmodel.Breakdown
+}
+
+// JoinNode runs the view's equi-join through the chosen engine, streaming
+// output batches in deterministic slot/group order. The request carries
+// the merged filter and the pushed-down projection; its children are the
+// descriptive per-side scans.
+type JoinNode struct {
+	Eng     engine.Engine
+	Cluster *cluster.Cluster
+	// View is the queried view's name (display).
+	View string
+	Req  engine.Request
+	// Cost is the planner's decision record (nil when unavailable).
+	Cost *JoinCost
+	// Parts is the number of emission parts (IJ slots / GH groups): one
+	// per compute node.
+	Parts int
+
+	left, right *ScanNode
+	schema      tuple.Schema
+}
+
+// NewJoin builds a join node from an engine request the planner has
+// already chosen an engine for.
+func NewJoin(eng engine.Engine, cl *cluster.Cluster, view string, req engine.Request, cost *JoinCost) (*JoinNode, error) {
+	leftDef, err := cl.Catalog.Table(req.LeftTable)
+	if err != nil {
+		return nil, err
+	}
+	rightDef, err := cl.Catalog.Table(req.RightTable)
+	if err != nil {
+		return nil, err
+	}
+	project := req.EffectiveProject()
+	ls := engine.ProjectedSchema(leftDef.Schema, project)
+	rs := engine.ProjectedSchema(rightDef.Schema, project)
+	return &JoinNode{
+		Eng: eng, Cluster: cl, View: view, Req: req, Cost: cost,
+		Parts: len(cl.Compute),
+		left:  joinInputScan(cl, req.LeftTable, ls, sideFilter(leftDef.Schema, req.Filter), project),
+		right: joinInputScan(cl, req.RightTable, rs, sideFilter(rightDef.Schema, req.Filter), project),
+		schema: ls.JoinResult(rs, req.JoinAttrs, "r_"),
+	}, nil
+}
+
+// sideFilter keeps the constraints naming attributes of one side's schema
+// (mirrors the engines' per-side filter restriction).
+func sideFilter(schema tuple.Schema, f metadata.Range) metadata.Range {
+	var out metadata.Range
+	for i, a := range f.Attrs {
+		if schema.Index(a) < 0 {
+			continue
+		}
+		out.Attrs = append(out.Attrs, a)
+		out.Lo = append(out.Lo, f.Lo[i])
+		out.Hi = append(out.Hi, f.Hi[i])
+	}
+	return out
+}
+
+func (n *JoinNode) Schema() tuple.Schema { return n.schema }
+func (n *JoinNode) Children() []Node     { return []Node{n.left, n.right} }
+
+func (n *JoinNode) describe() string {
+	name := "?"
+	if n.Eng != nil {
+		name = n.Eng.Name()
+	}
+	s := fmt.Sprintf("Join[%s](%s ⋈ %s ON %s)", name,
+		n.Req.LeftTable, n.Req.RightTable, strings.Join(n.Req.JoinAttrs, ", "))
+	if n.View != "" {
+		s += " view=" + n.View
+	}
+	return s
+}
+
+// annotations are the extra EXPLAIN lines under the join: the cost-model
+// decision and both predicted breakdowns.
+func (n *JoinNode) annotations() []string {
+	c := n.Cost
+	if c == nil {
+		return nil
+	}
+	decision := fmt.Sprintf("cost: ij %v vs gh %v → %s",
+		costmodel.Duration(c.PredictIJ.Total), costmodel.Duration(c.PredictGH.Total), c.Chosen)
+	if c.Forced {
+		decision += " (forced)"
+	}
+	return []string{
+		decision,
+		fmt.Sprintf("ij: transfer %v build %v lookup %v",
+			costmodel.Duration(c.PredictIJ.Transfer), costmodel.Duration(c.PredictIJ.Build),
+			costmodel.Duration(c.PredictIJ.Lookup)),
+		fmt.Sprintf("gh: transfer %v write %v read %v build %v lookup %v",
+			costmodel.Duration(c.PredictGH.Transfer), costmodel.Duration(c.PredictGH.Write),
+			costmodel.Duration(c.PredictGH.Read), costmodel.Duration(c.PredictGH.Build),
+			costmodel.Duration(c.PredictGH.Lookup)),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Row operators
+
+// FilterNode applies residual range predicates batch-by-batch — the ones
+// that could not be pushed below a source.
+type FilterNode struct {
+	Child Node
+	Preds []query.Pred
+}
+
+// NewFilter validates the predicates against the child's schema.
+func NewFilter(child Node, preds []query.Pred) (*FilterNode, error) {
+	for _, p := range preds {
+		if child.Schema().Index(p.Attr) < 0 {
+			return nil, fmt.Errorf("plan: filter references %q, not an output column of %v",
+				p.Attr, child.Schema().Names())
+		}
+	}
+	return &FilterNode{Child: child, Preds: preds}, nil
+}
+
+func (n *FilterNode) Schema() tuple.Schema { return n.Child.Schema() }
+func (n *FilterNode) Children() []Node     { return []Node{n.Child} }
+
+func (n *FilterNode) describe() string {
+	var parts []string
+	for _, p := range n.Preds {
+		parts = append(parts, fmt.Sprintf("%s ∈ [%g, %g]", p.Attr, p.Lo, p.Hi))
+	}
+	return fmt.Sprintf("Filter(%s)", strings.Join(parts, ", "))
+}
+
+// ProjectNode narrows each batch to the named columns, in name order.
+type ProjectNode struct {
+	Child  Node
+	Names  []string
+	schema tuple.Schema
+}
+
+// NewProject validates the names against the child's schema.
+func NewProject(child Node, names []string) (*ProjectNode, error) {
+	s, _, err := child.Schema().Project(names)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectNode{Child: child, Names: names, schema: s}, nil
+}
+
+func (n *ProjectNode) Schema() tuple.Schema { return n.schema }
+func (n *ProjectNode) Children() []Node     { return []Node{n.Child} }
+func (n *ProjectNode) describe() string {
+	return fmt.Sprintf("Project(%s)", strings.Join(n.Names, ", "))
+}
+
+// AggregateNode folds the child's batches into per-group aggregate state
+// and emits the finalized groups as one batch.
+type AggregateNode struct {
+	Child   Node
+	Items   []query.SelectItem
+	GroupBy []string
+	Having  *query.Having
+	// Partitioned keeps one dds.Partial per input part (batches sharing
+	// an ID), merged in arrival order — the float-summation grouping of
+	// the materialized per-joiner aggregation. False folds every batch
+	// into a single partial (a table scan's rows are one partition).
+	Partitioned bool
+	schema      tuple.Schema
+}
+
+// NewAggregate validates the specification against the child schema.
+func NewAggregate(child Node, items []query.SelectItem, groupBy []string, having *query.Having, partitioned bool) (*AggregateNode, error) {
+	schema, err := dds.AggSchema(child.Schema(), items, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	if having != nil && having.Attr != "*" && child.Schema().Index(having.Attr) < 0 {
+		return nil, fmt.Errorf("dds: HAVING references unknown attribute %q", having.Attr)
+	}
+	return &AggregateNode{
+		Child: child, Items: items, GroupBy: groupBy, Having: having,
+		Partitioned: partitioned, schema: schema,
+	}, nil
+}
+
+func (n *AggregateNode) Schema() tuple.Schema { return n.schema }
+func (n *AggregateNode) Children() []Node     { return []Node{n.Child} }
+
+func (n *AggregateNode) describe() string {
+	var items []string
+	for _, it := range n.Items {
+		items = append(items, fmt.Sprintf("%s(%s)", it.Agg, it.Attr))
+	}
+	s := fmt.Sprintf("Aggregate(%s)", strings.Join(items, ", "))
+	if len(n.GroupBy) > 0 {
+		s += " group by " + strings.Join(n.GroupBy, ", ")
+	}
+	if n.Having != nil {
+		s += fmt.Sprintf(" having %s(%s) %s %g", n.Having.Agg, n.Having.Attr, n.Having.Op, n.Having.Val)
+	}
+	return s
+}
+
+// SortNode absorbs the child's batches and emits them fully ordered, as
+// one batch. The stable sort over the arrival-ordered rows reproduces the
+// materialized path's ordering exactly.
+type SortNode struct {
+	Child Node
+	Keys  []query.OrderKey
+}
+
+// NewSort validates the keys against the child's schema.
+func NewSort(child Node, keys []query.OrderKey) (*SortNode, error) {
+	for _, k := range keys {
+		if child.Schema().Index(k.Attr) < 0 {
+			return nil, fmt.Errorf("planner: ORDER BY references %q, not an output column of %v",
+				k.Attr, child.Schema().Names())
+		}
+	}
+	return &SortNode{Child: child, Keys: keys}, nil
+}
+
+func (n *SortNode) Schema() tuple.Schema { return n.Child.Schema() }
+func (n *SortNode) Children() []Node     { return []Node{n.Child} }
+
+func (n *SortNode) describe() string {
+	var keys []string
+	for _, k := range n.Keys {
+		if k.Desc {
+			keys = append(keys, k.Attr+" desc")
+		} else {
+			keys = append(keys, k.Attr)
+		}
+	}
+	return fmt.Sprintf("Sort(%s)", strings.Join(keys, ", "))
+}
+
+// LimitNode truncates the stream after N rows. Reaching the limit stops
+// pulling from the child; the subsequent Close propagates cancellation
+// into a running join, abandoning the un-joined remainder of the
+// edge/bucket schedule.
+type LimitNode struct {
+	Child Node
+	N     int
+}
+
+// NewLimit builds a limit node (n >= 0).
+func NewLimit(child Node, n int) *LimitNode { return &LimitNode{Child: child, N: n} }
+
+func (n *LimitNode) Schema() tuple.Schema { return n.Child.Schema() }
+func (n *LimitNode) Children() []Node     { return []Node{n.Child} }
+func (n *LimitNode) describe() string     { return fmt.Sprintf("Limit(%d)", n.N) }
+
+// ---------------------------------------------------------------------
+// Explain
+
+// annotated is implemented by nodes with extra EXPLAIN detail lines.
+type annotated interface{ annotations() []string }
+
+// Explain renders the plan tree, one node per line, with pushed-down
+// predicates/projections on the sources and the cost-model breakdown
+// under the join.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	var walk func(n Node, prefix string, childPrefix string)
+	walk = func(n Node, prefix, childPrefix string) {
+		b.WriteString(prefix)
+		b.WriteString(n.describe())
+		b.WriteByte('\n')
+		kids := n.Children()
+		if a, ok := n.(annotated); ok {
+			barPrefix := childPrefix + "│    "
+			if len(kids) == 0 {
+				barPrefix = childPrefix + "     "
+			}
+			for _, line := range a.annotations() {
+				b.WriteString(barPrefix)
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+		for i, k := range kids {
+			if i == len(kids)-1 {
+				walk(k, childPrefix+"└─ ", childPrefix+"   ")
+			} else {
+				walk(k, childPrefix+"├─ ", childPrefix+"│  ")
+			}
+		}
+	}
+	walk(p.Root, "", "")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Memory estimate
+
+// MemoryEstimate bounds the resident bytes of a streaming execution of
+// the plan: per-operator batch/window/build bounds instead of the
+// whole-result sizes a materialized run would hold. Blocking operators
+// (Sort, and the join's build side) contribute their full working set;
+// streaming operators contribute bounded windows. Admission control uses
+// this as the query's memory weight.
+func (p *Plan) MemoryEstimate() int64 {
+	var total int64
+	var walk func(n Node)
+	walk = func(n Node) {
+		total += residentBytes(n)
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return total
+}
+
+// residentBytes estimates one node's peak resident footprint.
+func residentBytes(n Node) int64 {
+	rec := int64(n.Schema().RecordSize())
+	switch t := n.(type) {
+	case *ScanNode:
+		if t.joinSide {
+			// The engine's fetches are priced on the JoinNode.
+			return 0
+		}
+		// Lookahead window: one in-flight chunk per compute node.
+		if len(t.descs) == 0 {
+			return 0
+		}
+		avg := t.estRows / int64(len(t.descs))
+		return int64(len(t.Cluster.Compute)) * avg * rec
+	case *JoinNode:
+		if t.Cost == nil {
+			return 0
+		}
+		pm := t.Cost.Params
+		// Build side resident + one streamed right sub-table per joiner +
+		// the reorder sink's bounded per-part buffers.
+		build := pm.T * int64(pm.RSR)
+		stream := int64(pm.Nj) * pm.CS * int64(pm.RSS)
+		buffer := int64(t.Parts) * maxBufferedBatches * pm.CS * rec
+		return build + stream + buffer
+	case *SortNode:
+		// Absorbs its whole input.
+		return estRows(t.Child) * rec
+	case *AggregateNode:
+		// Per-group accumulators; bounded by the (deduplicated) group
+		// count, estimated conservatively from the input.
+		rows := estRows(t.Child)
+		if rows > 1<<16 {
+			rows = 1 << 16
+		}
+		return rows * rec
+	default:
+		// Pass-through operators hold at most one batch.
+		return maxBufferedBatches * 4096
+	}
+}
+
+// estRows estimates a node's output cardinality.
+func estRows(n Node) int64 {
+	switch t := n.(type) {
+	case *ScanNode:
+		return t.estRows
+	case *JoinNode:
+		if t.Cost != nil {
+			return t.Cost.Params.T
+		}
+		return 0
+	case *LimitNode:
+		rows := estRows(t.Child)
+		if int64(t.N) < rows {
+			return int64(t.N)
+		}
+		return rows
+	case *AggregateNode:
+		rows := estRows(t.Child)
+		if rows > 1<<16 {
+			return 1 << 16
+		}
+		return rows
+	default:
+		kids := n.Children()
+		if len(kids) == 1 {
+			return estRows(kids[0])
+		}
+		return 0
+	}
+}

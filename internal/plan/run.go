@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"sciview/internal/engine"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// Run executes the plan to completion: it builds the operator tree, opens
+// it, drains the root and assembles the final result table (copying, so
+// the operators' recycled batches never escape). Close always runs —
+// after EOF, an error, or an early exit (a Limit that stopped pulling) —
+// and is what propagates cancellation into a still-running join.
+//
+// The returned engine.Result is the join's (real for completed runs,
+// synthesized with the executed schedule fraction for early exits),
+// extended with per-operator stats; it is nil for plans without a join.
+func Run(ctx context.Context, p *Plan) (*tuple.SubTable, *engine.Result, error) {
+	root, ops, err := Build(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := root.Open(ctx); err != nil {
+		root.Close()
+		return nil, nil, err
+	}
+	out := tuple.NewSubTable(p.OutID, root.Schema(), 0)
+	var runErr error
+	for {
+		st, err := root.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+		if err := out.AppendAll(st); err != nil {
+			runErr = err
+			break
+		}
+	}
+	closeErr := root.Close()
+	if runErr == nil {
+		runErr = closeErr
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+
+	stats := make([]engine.OpStat, len(ops))
+	for i, op := range ops {
+		stats[i] = *op.Stat()
+		// One span per operator; span duration = the operator's busy time.
+		p.Trace.Span("plan", trace.KindOperator, stats[i].Op,
+			time.Now().Add(-stats[i].Busy), stats[i].Bytes, stats[i].Rows)
+	}
+	var res *engine.Result
+	for _, op := range ops {
+		if j, ok := op.(*joinOp); ok {
+			res = j.result()
+			break
+		}
+	}
+	if res != nil {
+		res.Operators = stats
+	}
+	return out, res, nil
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"context"
+	"io"
+	"sort"
+	"time"
+
+	"sciview/internal/tuple"
+)
+
+// sortOp is the blocking ORDER BY operator: it absorbs the child's
+// batches in arrival order — which the sources keep identical to the
+// materialized path's row order — and emits one fully-ordered batch,
+// produced by the same stable sort over row indexes the materialized
+// order-and-limit step used. Equal-key rows therefore keep the exact
+// relative order of the materialized result.
+type sortOp struct {
+	opstat
+	node    *SortNode
+	child   Operator
+	emitted bool
+}
+
+func (o *sortOp) Schema() tuple.Schema { return o.node.Schema() }
+
+func (o *sortOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
+
+func (o *sortOp) Next() (*tuple.SubTable, error) {
+	start := time.Now()
+	defer o.timed(start)
+	if o.emitted {
+		return nil, io.EOF
+	}
+	o.emitted = true
+
+	acc := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: -1}, o.child.Schema(), 0)
+	for {
+		st, err := o.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if acc.NumRows() == 0 {
+			acc.ID = st.ID
+		}
+		if err := acc.AppendAll(st); err != nil {
+			return nil, err
+		}
+	}
+
+	keys := o.node.Keys
+	idxs := make([]int, len(keys))
+	for i, k := range keys {
+		idxs[i] = acc.Schema.Index(k.Attr) // validated at NewSort
+	}
+	order := make([]int, acc.NumRows())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		for i, idx := range idxs {
+			va, vb := acc.Value(ra, idx), acc.Value(rb, idx)
+			if va == vb {
+				continue
+			}
+			if keys[i].Desc {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	})
+	out := tuple.NewSubTable(acc.ID, acc.Schema, acc.NumRows())
+	row := tuple.GetRow(acc.Schema.NumAttrs())
+	defer tuple.PutRow(row)
+	for _, r := range order {
+		out.AppendRow(acc.Row(r, row)...)
+	}
+	o.s.PeakBytes = int64(acc.Bytes()) + int64(out.Bytes())
+	o.observe(out)
+	return out, nil
+}
+
+func (o *sortOp) Close() error { return o.child.Close() }

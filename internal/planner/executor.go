@@ -1,8 +1,10 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sciview/internal/cluster"
 	"sciview/internal/dds"
@@ -15,12 +17,26 @@ import (
 // Executor runs SQL statements against a cluster, maintaining the set of
 // defined views. It is the front door the examples and command-line tools
 // use.
+//
+// SELECTs execute through the streaming plan layer (internal/plan) by
+// default: the statement is lowered to an operator DAG and evaluated
+// batch by batch, with results byte-identical to the fully-materialized
+// path. Materialize switches back to the materialized reference
+// implementation (kept as the golden oracle the streaming path is tested
+// against).
 type Executor struct {
 	Cluster *cluster.Cluster
 	Planner *Planner
 	// Trace, when non-nil, records execution events of every join the
 	// executor runs.
 	Trace *trace.Recorder
+	// Materialize forces the pre-plan execution path: collect the whole
+	// join, then filter/project/aggregate/sort/limit in place.
+	Materialize bool
+
+	// mu guards views: concurrent Exec calls through the service layer
+	// may interleave CREATE VIEW with SELECTs.
+	mu    sync.RWMutex
 	views map[string]*dds.JoinView
 }
 
@@ -38,16 +54,22 @@ type Output struct {
 	// Result and Decision are set when a join executed.
 	Result   *engine.Result
 	Decision *Decision
+	// Explain is the rendered plan tree for EXPLAIN statements.
+	Explain string
 }
 
 // View returns a defined view by name.
 func (ex *Executor) View(name string) (*dds.JoinView, bool) {
+	ex.mu.RLock()
+	defer ex.mu.RUnlock()
 	v, ok := ex.views[name]
 	return v, ok
 }
 
 // DefineView registers a view definition directly (bypassing SQL).
 func (ex *Executor) DefineView(v *dds.JoinView) error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	if _, ok := ex.views[v.Name]; ok {
 		return fmt.Errorf("planner: view %q already exists", v.Name)
 	}
@@ -57,6 +79,12 @@ func (ex *Executor) DefineView(v *dds.JoinView) error {
 
 // Exec parses and executes one statement.
 func (ex *Executor) Exec(sql string) (*Output, error) {
+	return ex.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec observing ctx: a cancelled context aborts a
+// streaming SELECT mid-join.
+func (ex *Executor) ExecContext(ctx context.Context, sql string) (*Output, error) {
 	st, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -67,7 +95,7 @@ func (ex *Executor) Exec(sql string) (*Output, error) {
 		if s.Derived() {
 			// A restriction view layered on an existing view: same join,
 			// predicates conjoined — a DDS built on another DDS.
-			base, ok := ex.views[s.Left]
+			base, ok := ex.View(s.Left)
 			if !ok {
 				return nil, fmt.Errorf("planner: view %q derives from unknown view %q", s.Name, s.Left)
 			}
@@ -91,7 +119,20 @@ func (ex *Executor) Exec(sql string) (*Output, error) {
 		}
 		return &Output{ViewCreated: v.Name}, nil
 	case *query.Select:
-		return ex.execSelect(s)
+		if ex.Materialize {
+			return ex.execSelect(s)
+		}
+		l, err := ex.lowerSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return ex.ExecLowered(ctx, l)
+	case *query.Explain:
+		l, err := ex.lowerSelect(s.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Explain: l.Plan.Explain(), Decision: l.Decision}, nil
 	default:
 		return nil, fmt.Errorf("planner: unsupported statement %T", st)
 	}
@@ -147,7 +188,7 @@ func (ex *Executor) execSelect(s *query.Select) (*Output, error) {
 
 	// Obtain the base rows: from a view (join) or a table (scan).
 	var rows []*tuple.SubTable
-	if v, ok := ex.views[s.From]; ok {
+	if v, ok := ex.View(s.From); ok {
 		req, err := v.Request(s.Where, true)
 		if err != nil {
 			return nil, err

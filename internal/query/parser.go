@@ -84,6 +84,14 @@ type Select struct {
 
 func (*Select) stmt() {}
 
+// Explain wraps a SELECT: `EXPLAIN SELECT ...`. The planner renders the
+// lowered plan tree instead of executing it.
+type Explain struct {
+	Select *Select
+}
+
+func (*Explain) stmt() {}
+
 // Having is a single aggregate filter over groups.
 type Having struct {
 	Agg  Agg
@@ -102,6 +110,12 @@ func Parse(src string) (Statement, error) {
 	var st Statement
 	if p.peekKeyword("CREATE") {
 		st, err = p.parseCreateView()
+	} else if p.acceptKeyword("EXPLAIN") {
+		var s *Select
+		s, err = p.parseSelect()
+		if err == nil {
+			st = &Explain{Select: s}
+		}
 	} else {
 		st, err = p.parseSelect()
 	}

@@ -47,6 +47,33 @@ func TestParseCreateViewWithWhere(t *testing.T) {
 	}
 }
 
+func TestParseExplain(t *testing.T) {
+	st, err := Parse("EXPLAIN SELECT wp FROM V1 WHERE x < 10 ORDER BY wp LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*Explain)
+	if !ok {
+		t.Fatalf("Parse = %T, want *Explain", st)
+	}
+	s := ex.Select
+	if s.From != "V1" || len(s.Items) != 1 || s.Items[0].Attr != "wp" || s.Limit != 5 {
+		t.Errorf("select = %+v", s)
+	}
+	// Case-insensitive keyword, like the rest of the grammar.
+	if _, err := Parse("explain select * from T1"); err != nil {
+		t.Errorf("lowercase explain: %v", err)
+	}
+	// EXPLAIN wraps SELECT only.
+	if _, err := Parse("EXPLAIN CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x)"); err == nil {
+		t.Error("EXPLAIN CREATE VIEW should fail")
+	}
+	// Trailing input after the wrapped select still rejected.
+	if _, err := Parse("EXPLAIN SELECT * FROM T1 garbage"); err == nil {
+		t.Error("trailing input should fail")
+	}
+}
+
 func TestParseSelectStar(t *testing.T) {
 	s := parseSelect(t, "SELECT * FROM V1")
 	if len(s.Items) != 1 || !s.Items[0].Star || s.From != "V1" {

@@ -31,6 +31,7 @@ import (
 	"sciview/internal/engine"
 	"sciview/internal/planner"
 	"sciview/internal/trace"
+	"sciview/internal/tuple"
 )
 
 // Errors returned by Submit.
@@ -74,10 +75,19 @@ type Query struct {
 	Priority int
 }
 
+// SQL is one SQL-statement submission for SubmitSQL.
+type SQL struct {
+	Query string
+	// Priority orders waiting queries: higher runs sooner; ties are FIFO.
+	Priority int
+}
+
 // Response reports one executed query.
 type Response struct {
 	Result   *engine.Result
 	Decision *planner.Decision
+	// Rows holds the result rows (SubmitSQL only).
+	Rows *tuple.SubTable
 	// QueueWait is the time spent in the admission queue.
 	QueueWait time.Duration
 	// Weight is the working-set estimate charged against the budget.
@@ -158,59 +168,10 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &waiter{
-		pri:    q.Priority,
-		weight: s.weightFor(dec.Params),
-		ready:  make(chan struct{}),
+	w, queueWait, err := s.admit(ctx, q.Priority, s.weightFor(dec.Params))
+	if err != nil {
+		return nil, err
 	}
-	enqueued := time.Now()
-
-	s.mu.Lock()
-	if s.closed {
-		s.stats.Rejected++
-		s.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
-		s.stats.Rejected++
-		s.mu.Unlock()
-		return nil, ErrQueueFull
-	}
-	s.seq++
-	w.seq = s.seq
-	heap.Push(&s.queue, w)
-	s.stats.Submitted++
-	if n := s.queue.Len(); n > s.stats.QueuePeak {
-		s.stats.QueuePeak = n
-	}
-	s.dispatchLocked()
-	s.mu.Unlock()
-
-	select {
-	case <-w.ready:
-		if w.err != nil { // drained out of the queue by Close
-			return nil, w.err
-		}
-	case <-ctx.Done():
-		s.mu.Lock()
-		if !w.admitted && w.err == nil {
-			heap.Remove(&s.queue, w.index)
-			s.stats.Cancelled++
-			s.mu.Unlock()
-			return nil, ctx.Err()
-		}
-		s.mu.Unlock()
-		// Admission (or a Close rejection) raced the cancellation; the
-		// ready channel is closed (or about to be).
-		<-w.ready
-		if w.err != nil {
-			return nil, w.err
-		}
-		s.finish(w, time.Since(enqueued), ctx.Err())
-		return nil, ctx.Err()
-	}
-
-	queueWait := time.Since(enqueued)
 	req := q.Req
 	req.Shared = true
 	if req.Prefetch == 0 {
@@ -219,7 +180,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	if req.Parallelism == 0 {
 		req.Parallelism = s.cfg.Parallelism
 	}
-	req.Trace.Span("service", trace.KindQueue, eng.Name(), enqueued, w.weight, 0)
+	req.Trace.Span("service", trace.KindQueue, eng.Name(), time.Now().Add(-queueWait), w.weight, 0)
 	runStart := time.Now()
 	before := s.cl.HealthStats()
 	res, err := eng.RunContext(ctx, s.cl, req)
@@ -240,6 +201,135 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 		QueueWait: queueWait,
 		Weight:    w.weight,
 	}, nil
+}
+
+// Executor returns a SQL executor over the service's cluster that shares
+// the service's pre-calibrated planner (CPU constants fixed in New, Force
+// applied), so concurrent SubmitSQL calls never race on planner state.
+// Define views through it, then pass it to SubmitSQL.
+func (s *Service) Executor() *planner.Executor {
+	ex := planner.NewExecutor(s.cl)
+	ex.Planner = s.pl
+	return ex
+}
+
+// SubmitSQL parses, plans, queues and executes one SQL SELECT through the
+// streaming plan layer. The statement is lowered before admission so the
+// memory budget is charged with the plan's own resident-set bound — which
+// covers scans, blocking sorts and aggregation, not just the join working
+// set the cost model prices. Join-backed plans run in shared mode with the
+// service's prefetch/parallelism defaults, exactly like Submit.
+//
+// ex must come from Executor (or otherwise share a planner whose CPU
+// constants are already set): a planner that self-calibrates on first use
+// is not safe under concurrent submissions.
+func (s *Service) SubmitSQL(ctx context.Context, ex *planner.Executor, q SQL) (*Response, error) {
+	l, err := ex.Lower(q.Query)
+	if err != nil {
+		return nil, err
+	}
+	weight := l.Plan.MemoryEstimate()
+	if weight < 1 {
+		weight = 1
+	}
+	if s.cfg.MemoryBudget > 0 && weight > s.cfg.MemoryBudget {
+		weight = s.cfg.MemoryBudget
+	}
+	w, queueWait, err := s.admit(ctx, q.Priority, weight)
+	if err != nil {
+		return nil, err
+	}
+	name := "scan"
+	if l.Join != nil {
+		l.Join.Req.Shared = true
+		if l.Join.Req.Prefetch == 0 {
+			l.Join.Req.Prefetch = s.cfg.Prefetch
+		}
+		if l.Join.Req.Parallelism == 0 {
+			l.Join.Req.Parallelism = s.cfg.Parallelism
+		}
+		name = l.Decision.Chosen
+	}
+	ex.Trace.Span("service", trace.KindQueue, name, time.Now().Add(-queueWait), w.weight, 0)
+	runStart := time.Now()
+	before := s.cl.HealthStats()
+	out, err := ex.ExecLowered(ctx, l)
+	recovered := err == nil && healthActivity(s.cl.HealthStats())-healthActivity(before) > 0
+	s.finish(w, queueWait, err)
+	if err != nil {
+		return nil, err
+	}
+	if recovered {
+		s.mu.Lock()
+		s.stats.Recovered++
+		s.mu.Unlock()
+	}
+	var tuples int64
+	if out.Rows != nil {
+		tuples = int64(out.Rows.NumRows())
+	}
+	ex.Trace.Span("service", trace.KindQuery, name, runStart, 0, tuples)
+	return &Response{
+		Result:    out.Result,
+		Decision:  out.Decision,
+		Rows:      out.Rows,
+		QueueWait: queueWait,
+		Weight:    w.weight,
+	}, nil
+}
+
+// admit enqueues a submission and blocks until it is admitted, rejected,
+// or ctx ends. On success the returned waiter holds an execution slot the
+// caller must release via finish.
+func (s *Service) admit(ctx context.Context, pri int, weight int64) (*waiter, time.Duration, error) {
+	w := &waiter{pri: pri, weight: weight, ready: make(chan struct{})}
+	enqueued := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, 0, ErrQueueFull
+	}
+	s.seq++
+	w.seq = s.seq
+	heap.Push(&s.queue, w)
+	s.stats.Submitted++
+	if n := s.queue.Len(); n > s.stats.QueuePeak {
+		s.stats.QueuePeak = n
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil { // drained out of the queue by Close
+			return nil, 0, w.err
+		}
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !w.admitted && w.err == nil {
+			heap.Remove(&s.queue, w.index)
+			s.stats.Cancelled++
+			s.mu.Unlock()
+			return nil, 0, ctx.Err()
+		}
+		s.mu.Unlock()
+		// Admission (or a Close rejection) raced the cancellation; the
+		// ready channel is closed (or about to be).
+		<-w.ready
+		if w.err != nil {
+			return nil, 0, w.err
+		}
+		s.finish(w, time.Since(enqueued), ctx.Err())
+		return nil, 0, ctx.Err()
+	}
+	return w, time.Since(enqueued), nil
 }
 
 // weightFor estimates a query's resident working set from the cost-model

@@ -13,6 +13,7 @@ import (
 	"sciview/internal/oilres"
 	"sciview/internal/partition"
 	"sciview/internal/transport"
+	"sciview/internal/tuple"
 )
 
 // testAlphas preset the cost-model CPU constants so tests skip the
@@ -403,5 +404,88 @@ func TestServeRPC(t *testing.T) {
 	}
 	if st.Completed != 1 {
 		t.Errorf("remote stats completed = %d, want 1 (%+v)", st.Completed, st)
+	}
+}
+
+// TestSubmitSQLMatchesExecutor pushes SQL statements through the service's
+// admission path: every concurrent submission must return rows
+// byte-identical to the materialized reference executor, and admission
+// must charge a positive plan-derived weight.
+func TestSubmitSQLMatchesExecutor(t *testing.T) {
+	cl := makeCluster(t, 2, 2, 32<<20, 0)
+	svc := newService(cl, Config{MaxInFlight: 4, MemoryBudget: 1 << 30, Force: "ij"})
+	defer svc.Close()
+	ex := svc.Executor()
+	if _, err := ex.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+	ref := svc.Executor()
+	ref.Materialize = true
+	if _, err := ref.Exec("CREATE VIEW V AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT wp, oilp FROM V WHERE x BETWEEN 0 AND 5 ORDER BY wp DESC LIMIT 10",
+		"SELECT AVG(wp) FROM V GROUP BY z ORDER BY z",
+		"SELECT COUNT(*) FROM T1",
+	}
+	for _, q := range queries {
+		want, err := ref.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 3
+		resps := make([]*Response, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = svc.SubmitSQL(context.Background(), ex, SQL{Query: q})
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s [%d]: %v", q, i, errs[i])
+			}
+			if resps[i].Weight < 1 {
+				t.Errorf("%s [%d]: weight = %d", q, i, resps[i].Weight)
+			}
+			assertSameTable(t, q, want.Rows, resps[i].Rows)
+		}
+	}
+
+	if _, err := svc.SubmitSQL(context.Background(), ex,
+		SQL{Query: "CREATE VIEW W AS SELECT * FROM T1 JOIN T2 ON (x)"}); err == nil {
+		t.Error("SubmitSQL accepted a non-SELECT statement")
+	}
+}
+
+func assertSameTable(t *testing.T, q string, want, got *tuple.SubTable) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: nil rows", q)
+	}
+	wn, gn := want.Schema.Names(), got.Schema.Names()
+	if len(wn) != len(gn) {
+		t.Fatalf("%s: schema %v, want %v", q, gn, wn)
+	}
+	for i := range wn {
+		if wn[i] != gn[i] {
+			t.Fatalf("%s: schema %v, want %v", q, gn, wn)
+		}
+	}
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("%s: %d rows, want %d", q, got.NumRows(), want.NumRows())
+	}
+	for r := 0; r < want.NumRows(); r++ {
+		for c := 0; c < want.Schema.NumAttrs(); c++ {
+			if want.Value(r, c) != got.Value(r, c) {
+				t.Fatalf("%s: row %d col %d = %v, want %v", q, r, c, got.Value(r, c), want.Value(r, c))
+			}
+		}
 	}
 }

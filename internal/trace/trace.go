@@ -35,6 +35,14 @@ const (
 	KindQuery Kind = "query" // one admitted query's execution
 )
 
+// Event kinds emitted by the streaming plan executor.
+const (
+	// KindOperator is one plan operator's lifetime: detail is the
+	// operator description, bytes/items the batch bytes and rows that
+	// crossed its Next boundary.
+	KindOperator Kind = "operator"
+)
+
 // Event is one recorded span.
 type Event struct {
 	Node   string // owning node, e.g. "joiner-2" or "storage-0"

@@ -167,6 +167,23 @@ rows:
 	return out, nil
 }
 
+// Head returns a sub-table holding the first n rows (all rows when n
+// exceeds the row count). Column data is shared, not copied — the caller
+// must treat both tables as immutable, like Project.
+func (st *SubTable) Head(n int) *SubTable {
+	if n > st.rows {
+		n = st.rows
+	}
+	if n < 0 {
+		n = 0
+	}
+	cols := make([][]float32, len(st.cols))
+	for i := range cols {
+		cols[i] = st.cols[i][:n]
+	}
+	return &SubTable{ID: st.ID, Schema: st.Schema, cols: cols, rows: n}
+}
+
 // AppendAll appends every row of o, which must share st's schema.
 func (st *SubTable) AppendAll(o *SubTable) error {
 	if !st.Schema.Equal(o.Schema) {

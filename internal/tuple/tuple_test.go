@@ -158,6 +158,29 @@ func TestSubTableFilterRange(t *testing.T) {
 	}
 }
 
+func TestSubTableHead(t *testing.T) {
+	st := NewSubTable(ID{Table: 1, Chunk: 3}, testSchema(), 0)
+	for i := 0; i < 5; i++ {
+		st.AppendRow(float32(i), 0, 0, 0)
+	}
+	h := st.Head(2)
+	if h.NumRows() != 2 || h.Value(0, 0) != 0 || h.Value(1, 0) != 1 {
+		t.Fatalf("Head(2) = %d rows", h.NumRows())
+	}
+	if h.ID != st.ID {
+		t.Errorf("ID = %v, want %v", h.ID, st.ID)
+	}
+	if &h.Col(0)[0] != &st.Col(0)[0] {
+		t.Error("Head copied column data, want shared prefix")
+	}
+	if st.Head(99).NumRows() != 5 {
+		t.Errorf("Head past the end = %d rows, want all 5", st.Head(99).NumRows())
+	}
+	if st.Head(-1).NumRows() != 0 {
+		t.Errorf("Head(-1) = %d rows, want 0", st.Head(-1).NumRows())
+	}
+}
+
 func TestSubTableAppendAll(t *testing.T) {
 	a := NewSubTable(ID{}, testSchema(), 0)
 	a.AppendRow(1, 1, 1, 1)

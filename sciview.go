@@ -175,6 +175,8 @@ type Result struct {
 	Rows *Table
 	// Plan describes the join execution, when one ran.
 	Plan *PlanInfo
+	// Explain holds the rendered plan tree for EXPLAIN statements.
+	Explain string
 }
 
 // Exec parses and executes one SQL statement:
@@ -184,12 +186,13 @@ type Result struct {
 //	SELECT */cols/aggregates FROM table-or-view [WHERE ...]
 //	    [GROUP BY ...] [HAVING AGG(col) <op> num]
 //	    [ORDER BY col [DESC], ...] [LIMIT n]
+//	EXPLAIN SELECT ...                          -- render the plan, don't run
 func (s *System) Exec(sql string) (*Result, error) {
 	out, err := s.executor.Exec(sql)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{ViewCreated: out.ViewCreated}
+	res := &Result{ViewCreated: out.ViewCreated, Explain: out.Explain}
 	if out.Rows != nil {
 		res.Rows = &Table{st: out.Rows}
 	}

@@ -4,14 +4,19 @@
 # tuple codec benches (seed append-growth encoder vs pooled single-shot)
 # and the end-to-end IJ workload (prefetch off vs on), all with -benchmem,
 # and writes the parsed results plus headline ratios to BENCH_pr3.json.
+# A second leg runs the streaming-plan LIMIT early-exit benchmark
+# (materialized full-schedule join vs streaming cancel-on-limit) and writes
+# the edge-fraction/peak-memory comparison to BENCH_pr4.json.
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [pr3-output.json] [pr4-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr3.json}"
+out4="${2:-BENCH_pr4.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+raw4="$(mktemp)"
+trap 'rm -f "$raw" "$raw4"' EXIT
 
 echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
@@ -66,3 +71,39 @@ END {
 
 echo "== wrote $out"
 cat "$out"
+
+echo "== streaming plan LIMIT early exit (materialized vs streaming)"
+go test -run '^$' -bench BenchmarkLimitEarlyExit -benchtime 10x \
+    ./internal/planner/ | tee "$raw4"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($i == "edgefrac") ef[name] = $(i-1)
+        if ($i == "peakMB")   pk[name] = $(i-1)
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", k, ns[k]
+        if (k in ef) printf ", \"edge_fraction_joined\": %s", ef[k]
+        if (k in pk) printf ", \"peak_mb\": %s", pk[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    m = "BenchmarkLimitEarlyExit/materialized"; s = "BenchmarkLimitEarlyExit/streaming"
+    if (ns[m] && ns[s]) printf "    \"limit_wallclock_reduction\": %.3f,\n", 1 - ns[s] / ns[m]
+    if (ef[m] && ef[s]) printf "    \"limit_edge_fraction_joined\": %.3f,\n", ef[s] / ef[m]
+    if (pk[m] && pk[s]) printf "    \"limit_peak_memory_reduction\": %.3f\n", 1 - pk[s] / pk[m]
+    printf "  }\n}\n"
+}
+' "$raw4" > "$out4"
+
+echo "== wrote $out4"
+cat "$out4"

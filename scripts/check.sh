@@ -25,6 +25,10 @@ go test -race -short -count=1 -run TestServiceBenchShort .
 echo "== go test -race (chaos matrix: fault/retry/breaker + drop/delay/crash x IJ/GH)"
 go test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
 
+echo "== go test -race (streaming plan goldens: streaming == materialized, incl. chaos + views races)"
+go test -race -count=1 ./internal/plan
+go test -race -count=1 -run 'TestGolden|TestConcurrentView|TestExplain' ./internal/planner
+
 echo "== go test -race (parallel kernels + pipelined joiners, stressed)"
 go test -race -count=3 ./internal/hashjoin ./internal/ij ./internal/gh ./internal/tuple
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sciview/internal/engine"
+	"sciview/internal/planner"
 	"sciview/internal/service"
 )
 
@@ -49,6 +50,13 @@ type ServiceBenchSpec struct {
 	// (0 = all CPUs, 1 = serial).
 	Prefetch    int
 	Parallelism int
+	// SQL, when set, makes every client submit this statement through the
+	// streaming plan layer (service.SubmitSQL) instead of the raw join
+	// request, so admission charges the plan's per-operator resident-set
+	// bound. The statement may reference T1, T2 and the predefined join
+	// view V1 (T1 ⋈ T2 on x, y, z), e.g.
+	// "SELECT * FROM V1 WHERE x < 8 LIMIT 64".
+	SQL string
 }
 
 // ServiceBenchResult reports one benchmark run.
@@ -116,6 +124,16 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 		LeftTable: "T1", RightTable: "T2", JoinAttrs: []string{"x", "y", "z"},
 		Prefetch: spec.Prefetch, Parallelism: spec.Parallelism,
 	}}
+	var ex *planner.Executor
+	if spec.SQL != "" {
+		ex = svc.Executor()
+		if _, err := ex.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+			return nil, err
+		}
+		if _, err := ex.Lower(spec.SQL); err != nil {
+			return nil, fmt.Errorf("sciview: -sql statement does not plan: %w", err)
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), spec.Duration)
 	defer cancel()
 
@@ -129,7 +147,13 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 			defer wg.Done()
 			for ctx.Err() == nil {
 				start := time.Now()
-				resp, err := svc.Submit(ctx, query)
+				var resp *service.Response
+				var err error
+				if ex != nil {
+					resp, err = svc.SubmitSQL(ctx, ex, service.SQL{Query: spec.SQL})
+				} else {
+					resp, err = svc.Submit(ctx, query)
+				}
 				switch {
 				case err == nil:
 					mu.Lock()
@@ -191,6 +215,9 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 func (r *ServiceBenchResult) Print(w io.Writer, spec ServiceBenchSpec) {
 	fmt.Fprintf(w, "service bench: %d clients, %d slots, %v window\n",
 		spec.Concurrency, spec.MaxInFlight, spec.Duration)
+	if spec.SQL != "" {
+		fmt.Fprintf(w, "  workload    %s (streaming plan per submission)\n", spec.SQL)
+	}
 	fmt.Fprintf(w, "  completed   %d queries (%.1f q/s)\n", r.Queries, r.Throughput)
 	fmt.Fprintf(w, "  latency     mean %v  p50 %v  p95 %v  max %v\n",
 		r.LatMean.Round(time.Microsecond), r.LatP50.Round(time.Microsecond),
