@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench benchfig clean
+.PHONY: all build vet test race chaos fuzz check bench benchfig clean
 
 all: check
 
@@ -17,8 +17,9 @@ test:
 # service, the caches/singleflight groups, the transport, the cluster and
 # both engines in shared mode.
 race:
-	$(GO) test -race -count=1 ./internal/service ./internal/cache ./internal/transport ./internal/cluster
+	$(GO) test -race -count=1 ./internal/service ./internal/cache ./internal/transport ./internal/cluster ./internal/metrics
 	$(GO) test -race -short -count=1 -run TestServiceBenchShort .
+	$(GO) test -race -count=1 -run TestMetricsScrapeDuringServiceBench .
 
 # The fault-injection matrix (drop/delay/crash × IJ/GH) plus the recovery
 # building blocks, all under the race detector: chaos recovery paths are
@@ -26,10 +27,19 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
 
-check: build vet test race chaos
+# Parser fuzz smoke: the grammar must reject, never panic. Seeds come
+# from the golden-test SQL corpus; 10s is the CI budget, run longer when
+# touching the parser.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/query
+
+check: build vet test race chaos fuzz
 
 # Kernel/codec/IJ-workload microbenchmarks with -benchmem, parsed into
-# BENCH_pr3.json (map-vs-flat and prefetch-off-vs-on ratios included).
+# BENCH_pr3.json (map-vs-flat and prefetch-off-vs-on ratios included),
+# the streaming LIMIT early-exit leg (BENCH_pr4.json), and the metrics
+# overhead guard (BENCH_pr5.json: instrumented vs no-op registry on the
+# IJ workload; the overhead fraction must stay ≤ 0.03).
 bench:
 	sh scripts/bench.sh
 

@@ -50,6 +50,7 @@ func main() {
 		prefetch    = flag.Int("prefetch", sciview.DefaultPrefetch, "IJ joiner lookahead depth for -concurrency (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "hash-join kernel workers for -concurrency (0 = all CPUs, 1 = serial)")
 		sqlQuery    = flag.String("sql", "", "SQL SELECT each -concurrency client submits via the streaming plan layer (may use T1, T2 and view V1; empty = raw join request)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (/metrics, /debug/pprof/) at this address during -concurrency runs and dump a snapshot in the report; empty disables instrumentation")
 	)
 	flag.Parse()
 	if *concurrency > 0 {
@@ -67,6 +68,7 @@ func main() {
 			Prefetch:     *prefetch,
 			Parallelism:  *parallelism,
 			SQL:          *sqlQuery,
+			MetricsAddr:  *metricsAddr,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)
 		}

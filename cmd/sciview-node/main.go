@@ -24,6 +24,7 @@ import (
 
 	"sciview/internal/bds"
 	"sciview/internal/metadata"
+	"sciview/internal/metrics"
 	"sciview/internal/simio"
 	"sciview/internal/transport"
 	"sciview/internal/tuple"
@@ -36,9 +37,10 @@ func main() {
 		data  = flag.String("data", "", "dataset directory (serve mode)")
 		node  = flag.Int("node", 0, "storage node id to serve")
 		addr  = flag.String("addr", "127.0.0.1:0", "listen address (serve) or target address (fetch)")
-		fetch = flag.Bool("fetch", false, "client mode: fetch one sub-table and print it")
-		table = flag.Int("table", 0, "table id to fetch")
-		chunk = flag.Int("chunk", 0, "chunk id to fetch")
+		fetch       = flag.Bool("fetch", false, "client mode: fetch one sub-table and print it")
+		table       = flag.Int("table", 0, "table id to fetch")
+		chunk       = flag.Int("chunk", 0, "chunk id to fetch")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,23 @@ func main() {
 	}
 	disk := simio.NewDisk(store, 0, 0)
 	svc := bds.New(*node, catalog, disk)
+
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		transport.WireMetrics(reg)
+		reg.GaugeFunc("sciview_bds_subtables_served", "Sub-tables this BDS has served.", func() float64 {
+			return float64(svc.Stats.SubTablesServed.Load())
+		})
+		reg.GaugeFunc("sciview_bds_records_served", "Records this BDS has served.", func() float64 {
+			return float64(svc.Stats.RecordsServed.Load())
+		})
+		mcloser, maddr, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mcloser.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof on /debug/pprof/)\n", maddr)
+	}
 
 	tr := transport.NewTCP()
 	closer, err := tr.ServeAddr(bds.ServiceName(*node), *addr, svc.Handler())

@@ -34,6 +34,7 @@ import (
 	"sciview"
 	"sciview/internal/engine"
 	"sciview/internal/metadata"
+	"sciview/internal/metrics"
 	"sciview/internal/service"
 	"sciview/internal/transport"
 )
@@ -56,6 +57,7 @@ func main() {
 		faults      = flag.String("faults", "", "chaos schedule, e.g. crash:storage-1:fetch:20,delay:compute-0:write:2:5ms")
 		prefetch    = flag.Int("prefetch", engine.DefaultPrefetch, "default IJ joiner lookahead depth for queries that leave it unset (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "default hash-join kernel workers for queries that leave it unset (0 = all CPUs, 1 = serial)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
 		// Client mode.
 		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
 		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
@@ -81,6 +83,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		transport.WireMetrics(reg)
+	}
 	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
 		ComputeNodes: *compute,
 		CacheBytes:   *cacheBytes,
@@ -88,6 +95,7 @@ func main() {
 		DiskWriteBw:  *diskBw,
 		NetBw:        *netBw,
 		Faults:       *faults,
+		Metrics:      reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +107,16 @@ func main() {
 		Force:        *force,
 		Prefetch:     *prefetch,
 		Parallelism:  *parallelism,
+		Metrics:      reg,
 	})
+	if reg != nil {
+		mcloser, maddr, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mcloser.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof on /debug/pprof/)\n", maddr)
+	}
 
 	tr := transport.NewTCP()
 	closer, err := tr.ServeAddr(service.DefaultServiceName, *addr, svc.Handler())

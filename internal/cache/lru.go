@@ -9,7 +9,20 @@
 // the harness verify that.
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"sciview/internal/metrics"
+)
+
+// Metrics carries the live observability counters a cache feeds in
+// addition to its own Stats snapshot. All fields may be nil (no-op): an
+// uninstrumented cache pays one predicted branch per event.
+type Metrics struct {
+	Hits      *metrics.Counter
+	Misses    *metrics.Counter
+	Evictions *metrics.Counter
+}
 
 // LRU is a byte-capacity-bounded least-recently-used cache mapping keys of
 // type K to values of type V. All methods are safe for concurrent use.
@@ -24,6 +37,7 @@ type LRU[K comparable, V any] struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	met       Metrics
 
 	onEvict func(K, V)
 }
@@ -50,6 +64,10 @@ func NewLRU[K comparable, V any](capacity int64) *LRU[K, V] {
 // and by spill-accounting.
 func (c *LRU[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
 
+// SetMetrics wires live observability counters alongside the Stats
+// snapshot. Call before the cache is in use.
+func (c *LRU[K, V]) SetMetrics(m Metrics) { c.met = m }
+
 // Get returns the cached value for key and marks it most recently used.
 func (c *LRU[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
@@ -57,10 +75,12 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	n, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.met.Misses.Inc()
 		var zero V
 		return zero, false
 	}
 	c.hits++
+	c.met.Hits.Inc()
 	c.moveToFront(n)
 	return n.val, true
 }
@@ -180,6 +200,7 @@ func (c *LRU[K, V]) evictLocked(n *node[K, V]) {
 	c.unlink(n)
 	delete(c.entries, n.key)
 	c.evictions++
+	c.met.Evictions.Inc()
 	if c.onEvict != nil {
 		c.onEvict(n.key, n.val)
 	}

@@ -21,6 +21,9 @@ type Cache[K comparable, V any] interface {
 	Capacity() int64
 	Stats() Stats
 	ResetStats()
+	// SetMetrics wires live observability counters (all fields optional);
+	// call before the cache is in use.
+	SetMetrics(Metrics)
 }
 
 var _ Cache[int, int] = (*LRU[int, int])(nil)
@@ -56,12 +59,16 @@ type FIFO[K comparable, V any] struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	met       Metrics
 }
 
 // NewFIFO returns a FIFO cache bounded by capacity bytes.
 func NewFIFO[K comparable, V any](capacity int64) *FIFO[K, V] {
 	return &FIFO[K, V]{capacity: capacity, entries: make(map[K]*node[K, V])}
 }
+
+// SetMetrics implements Cache.
+func (c *FIFO[K, V]) SetMetrics(m Metrics) { c.met = m }
 
 // Get implements Cache (no recency update — that is the point of FIFO).
 func (c *FIFO[K, V]) Get(key K) (V, bool) {
@@ -70,10 +77,12 @@ func (c *FIFO[K, V]) Get(key K) (V, bool) {
 	n, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.met.Misses.Inc()
 		var zero V
 		return zero, false
 	}
 	c.hits++
+	c.met.Hits.Inc()
 	return n.val, true
 }
 
@@ -115,6 +124,7 @@ func (c *FIFO[K, V]) Put(key K, val V, size int64) {
 		c.unlink(t)
 		delete(c.entries, t.key)
 		c.evictions++
+		c.met.Evictions.Inc()
 	}
 	n := &node[K, V]{key: key, val: val, size: size}
 	c.entries[key] = n
@@ -202,6 +212,7 @@ type Clock[K comparable, V any] struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	met       Metrics
 }
 
 type clockNode[K comparable, V any] struct {
@@ -217,6 +228,9 @@ func NewClock[K comparable, V any](capacity int64) *Clock[K, V] {
 	return &Clock[K, V]{capacity: capacity, entries: make(map[K]*clockNode[K, V])}
 }
 
+// SetMetrics implements Cache.
+func (c *Clock[K, V]) SetMetrics(m Metrics) { c.met = m }
+
 // Get implements Cache, setting the reference bit.
 func (c *Clock[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
@@ -224,11 +238,13 @@ func (c *Clock[K, V]) Get(key K) (V, bool) {
 	n, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.met.Misses.Inc()
 		var zero V
 		return zero, false
 	}
 	n.referenced = true
 	c.hits++
+	c.met.Hits.Inc()
 	return n.val, true
 }
 
@@ -299,6 +315,7 @@ func (c *Clock[K, V]) evictOne() {
 		c.ringRemove(n)
 		delete(c.entries, n.key)
 		c.evictions++
+		c.met.Evictions.Inc()
 		return
 	}
 }

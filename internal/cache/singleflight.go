@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"sciview/internal/metrics"
 )
 
 // Flight deduplicates concurrent loads of the same key: while one caller
@@ -30,6 +32,11 @@ type Flight[K comparable, V any] struct {
 
 	leads  int64 // loads actually executed
 	shared int64 // callers served by another caller's load
+
+	// metLeads/metShared mirror the counters into the live metrics
+	// registry when set (nil-safe no-ops otherwise).
+	metLeads  *metrics.Counter
+	metShared *metrics.Counter
 }
 
 type flightCall[V any] struct {
@@ -41,6 +48,13 @@ type flightCall[V any] struct {
 // NewFlight returns an empty deduplicator.
 func NewFlight[K comparable, V any]() *Flight[K, V] {
 	return &Flight[K, V]{calls: make(map[K]*flightCall[V])}
+}
+
+// SetMetrics wires live dedup counters (leads = loads executed, shared =
+// callers served by another caller's load). Call before the Flight is in
+// use.
+func (f *Flight[K, V]) SetMetrics(leads, shared *metrics.Counter) {
+	f.metLeads, f.metShared = leads, shared
 }
 
 // Do returns the result of load for key, collapsing concurrent calls with
@@ -71,12 +85,14 @@ func (f *Flight[K, V]) Do(ctx context.Context, key K, load func() (V, error)) (V
 			f.mu.Lock()
 			f.shared++
 			f.mu.Unlock()
+			f.metShared.Inc()
 			return c.val, true, c.err
 		}
 		c := &flightCall[V]{done: make(chan struct{})}
 		f.calls[key] = c
 		f.leads++
 		f.mu.Unlock()
+		f.metLeads.Inc()
 
 		c.val, c.err = load()
 		f.mu.Lock()

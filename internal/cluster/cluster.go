@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"sciview/internal/cache"
 	"sciview/internal/fault"
 	"sciview/internal/metadata"
+	"sciview/internal/metrics"
 	"sciview/internal/retry"
 	"sciview/internal/simio"
 	"sciview/internal/transport"
@@ -84,6 +86,12 @@ type Config struct {
 	// (default 3), probe after BreakerCooldown (default 100ms).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Metrics, when set, wires the cluster's live observability surface
+	// into the registry: cache hit/miss/eviction and singleflight dedup
+	// counters, per-storage-node breaker state, and fetch/retry/failover
+	// accounting. Nil leaves every hot path on the no-op (near-zero cost)
+	// instruments.
+	Metrics *metrics.Registry
 }
 
 // Validate checks the configuration.
@@ -206,6 +214,18 @@ type Cluster struct {
 	// Health accumulates fault-tolerance counters (retries, failovers,
 	// engine recoveries); see HealthStats.
 	Health Health
+	// met holds the live-metrics handles (all nil-safe no-ops when
+	// Config.Metrics is nil).
+	met clusterMetrics
+}
+
+// clusterMetrics is the cluster's slice of the live registry.
+type clusterMetrics struct {
+	fetches       *metrics.Counter
+	fetchBytes    *metrics.Counter
+	fetchFailures *metrics.Counter
+	retries       *metrics.Counter
+	failovers     *metrics.Counter
 }
 
 // New assembles a cluster over the given catalog and per-storage-node
@@ -219,6 +239,38 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		return nil, fmt.Errorf("cluster: %d stores for %d storage nodes", len(stores), cfg.StorageNodes)
 	}
 	cl := &Cluster{Config: cfg, Catalog: catalog}
+	// Registry methods are nil-safe: with cfg.Metrics == nil every handle
+	// below is a nil no-op instrument, so the hot paths stay uninstrumented
+	// at the cost of one predicted branch each.
+	reg := cfg.Metrics
+	cl.met = clusterMetrics{
+		fetches:       reg.Counter("sciview_fetch_total", "Sub-table fetches served to compute nodes."),
+		fetchBytes:    reg.Counter("sciview_fetch_bytes_total", "Payload bytes of sub-tables shipped storage to compute."),
+		fetchFailures: reg.Counter("sciview_fetch_failures_total", "Fetches that failed after consulting every replica."),
+		retries:       reg.Counter("sciview_retry_total", "Backoff re-attempts against the same replica."),
+		failovers:     reg.Counter("sciview_failover_total", "Fetches redirected to a subsequent replica."),
+	}
+	cacheMet := cache.Metrics{
+		Hits:      reg.Counter("sciview_cache_hits_total", "Sub-table cache hits across compute nodes."),
+		Misses:    reg.Counter("sciview_cache_misses_total", "Sub-table cache misses across compute nodes."),
+		Evictions: reg.Counter("sciview_cache_evictions_total", "Sub-table cache evictions across compute nodes."),
+	}
+	flightLeads := reg.Counter("sciview_flight_leads_total", "Singleflight loads actually executed.")
+	flightShared := reg.Counter("sciview_flight_shared_total", "Singleflight callers served by another caller's load.")
+	reg.GaugeFunc("sciview_cache_bytes", "Bytes resident in the sub-table caches across compute nodes.", func() float64 {
+		var b int64
+		for _, cn := range cl.Compute {
+			b += cn.Cache.Bytes()
+		}
+		return float64(b)
+	})
+	reg.GaugeFunc("sciview_cache_entries", "Entries resident in the sub-table caches across compute nodes.", func() float64 {
+		var n int
+		for _, cn := range cl.Compute {
+			n += cn.Cache.Len()
+		}
+		return float64(n)
+	})
 	if cfg.SharedFS {
 		cl.nfsRead = simio.NewThrottle(cfg.DiskReadBw)
 		cl.nfsWrite = simio.NewThrottle(cfg.DiskWriteBw)
@@ -247,7 +299,13 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 			BDS:  bds.New(i, catalog, disk),
 		}
 		cl.Storage = append(cl.Storage, sn)
-		cl.breakers = append(cl.breakers, breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown))
+		br := breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		node := strconv.Itoa(i)
+		br.SetMetrics(
+			reg.Counter("sciview_breaker_trips_total", "Circuit breaker opens per storage node.", "node", node),
+			reg.Gauge("sciview_breaker_state", "Breaker state per storage node (0 closed, 1 open, 2 half-open).", "node", node),
+		)
+		cl.breakers = append(cl.breakers, br)
 	}
 	for j := 0; j < cfg.ComputeNodes; j++ {
 		var scratch *simio.Disk
@@ -269,10 +327,12 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		if err != nil {
 			return nil, err
 		}
+		nodeCache.SetMetrics(cacheMet)
 		flight := cache.NewFlight[FetchKey, *tuple.SubTable]()
 		// A leader whose fetch hits a transient fault hands the key off:
 		// waiters retry (and fail over) rather than inherit the error.
 		flight.Retryable = transport.IsRetryable
+		flight.SetMetrics(flightLeads, flightShared)
 		cn := &ComputeNode{
 			ID:      j,
 			Scratch: scratch,
@@ -382,6 +442,8 @@ func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.I
 	if err != nil {
 		return nil, err
 	}
+	cl.met.fetches.Inc()
+	cl.met.fetchBytes.Add(int64(st.Bytes()))
 	simio.Transfer(cl.Storage[node].NIC, cl.Compute[computeID].NIC, int64(st.Bytes()))
 	return st, nil
 }

@@ -109,9 +109,11 @@ func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try fu
 		}
 		if i > 0 {
 			cl.Health.Failovers.Add(1)
+			cl.met.failovers.Inc()
 		}
 		br := cl.breakers[node]
 		p := cl.Config.Retry
+		p.Retries = cl.met.retries
 		// Decorrelate jitter across chunks and replicas while keeping the
 		// schedule deterministic for a given (policy seed, chunk, node).
 		p.Seed ^= uint64(id.Table)<<40 ^ uint64(uint32(id.Chunk))<<8 ^ uint64(node)
@@ -148,9 +150,11 @@ func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try fu
 		if !transport.IsRetryable(err) {
 			// Terminal: the handler executed and refused (RemoteError), or
 			// the caller's context died. No replica can change the answer.
+			cl.met.fetchFailures.Inc()
 			return nil, -1, err
 		}
 	}
+	cl.met.fetchFailures.Inc()
 	if lastErr == nil {
 		lastErr = fmt.Errorf("cluster: chunk %v has no replicas", id)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sciview/internal/cluster"
+	"sciview/internal/metrics"
 	"sciview/internal/oilres"
 	"sciview/internal/partition"
 )
@@ -36,6 +37,54 @@ func BenchmarkIJWorkload(b *testing.B) {
 				}
 				r := req()
 				r.Prefetch = depth
+				b.StartTimer()
+				res, err := New().Run(cl, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tuples != grid.Cells() {
+					b.Fatalf("tuples = %d, want %d", res.Tuples, grid.Cells())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIJMetricsOverhead runs the same IJ workload with instrumentation
+// absent (nil registry: every instrument call is a nil-receiver no-op) and
+// present (live registry: cache hit/miss, fetch, singleflight and breaker
+// counters all firing on the hot path). The delta between the two legs is
+// the full observability tax; the differential harness' companion check in
+// scripts/bench.sh asserts it stays within a few percent of wall clock.
+func BenchmarkIJMetricsOverhead(b *testing.B) {
+	grid := partition.D(32, 32, 32)
+	pq := partition.D(8, 8, 8)
+	ds, err := oilres.Generate(oilres.Config{
+		Grid: grid, LeftPart: pq, RightPart: pq, StorageNodes: 4, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, leg := range []struct {
+		name string
+		reg  func() *metrics.Registry
+	}{
+		{"noop", func() *metrics.Registry { return nil }},
+		{"instrumented", metrics.NewRegistry},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := cluster.New(cluster.Config{
+					StorageNodes: 4, ComputeNodes: 4, CacheBytes: 64 << 20,
+					NetBw: 16 << 20, CPUSecPerOp: 1e-6,
+					Metrics: leg.reg(),
+				}, ds.Catalog, ds.Stores)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := req()
+				r.Prefetch = 2
 				b.StartTimer()
 				res, err := New().Run(cl, r)
 				if err != nil {

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// NewMux returns an http.ServeMux with the observability surface mounted:
+// /metrics (Prometheus text format) and the net/http/pprof profiling
+// endpoints under /debug/pprof/. Mounted explicitly — not on
+// http.DefaultServeMux — so importing this package never leaks handlers
+// into unrelated servers.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the /metrics + pprof mux in a
+// background goroutine, returning the closer and the bound address
+// (useful with ":0"). The HTTP server is intentionally plain: scrape
+// traffic is trusted-operator traffic.
+func Serve(addr string, r *Registry) (io.Closer, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return closerFunc(func() error {
+		srv.Close()
+		return nil
+	}), ln.Addr().String(), nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

@@ -29,6 +29,7 @@ import (
 	"sciview/internal/dds"
 	"sciview/internal/engine"
 	"sciview/internal/metadata"
+	"sciview/internal/metrics"
 	"sciview/internal/query"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
@@ -54,6 +55,10 @@ type Plan struct {
 	OutID tuple.ID
 	// Trace, when non-nil, receives one KindOperator span per operator.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives per-operator-kind rows/bytes/busy
+	// totals after each run (accumulated once at completion, never on the
+	// per-batch path).
+	Metrics *metrics.Registry
 }
 
 // maxBufferedBatches bounds the reorder sink's per-part buffer: a join

@@ -3,6 +3,7 @@ package plan
 import (
 	"context"
 	"io"
+	"strings"
 	"time"
 
 	"sciview/internal/engine"
@@ -58,6 +59,17 @@ func Run(ctx context.Context, p *Plan) (*tuple.SubTable, *engine.Result, error) 
 		// One span per operator; span duration = the operator's busy time.
 		p.Trace.Span("plan", trace.KindOperator, stats[i].Op,
 			time.Now().Add(-stats[i].Busy), stats[i].Bytes, stats[i].Rows)
+		// Accumulate per-operator-kind totals into the live registry: once
+		// per run per operator, never on the batch path. Registry lookups
+		// are idempotent, so re-registering each run returns the same
+		// instruments. Nil p.Metrics yields nil no-op counters.
+		kind := stats[i].Op
+		if k := strings.IndexByte(kind, '('); k >= 0 {
+			kind = kind[:k]
+		}
+		p.Metrics.Counter("sciview_operator_rows_total", "Rows emitted per operator kind.", "op", kind).Add(stats[i].Rows)
+		p.Metrics.Counter("sciview_operator_bytes_total", "Bytes emitted per operator kind.", "op", kind).Add(stats[i].Bytes)
+		p.Metrics.Counter("sciview_operator_busy_microseconds_total", "Busy time per operator kind, in microseconds.", "op", kind).Add(stats[i].Busy.Microseconds())
 	}
 	var res *engine.Result
 	for _, op := range ops {

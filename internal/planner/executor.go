@@ -9,6 +9,7 @@ import (
 	"sciview/internal/cluster"
 	"sciview/internal/dds"
 	"sciview/internal/engine"
+	"sciview/internal/metrics"
 	"sciview/internal/query"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
@@ -33,6 +34,9 @@ type Executor struct {
 	// Materialize forces the pre-plan execution path: collect the whole
 	// join, then filter/project/aggregate/sort/limit in place.
 	Materialize bool
+	// Metrics, when non-nil, is threaded into every lowered plan so runs
+	// accumulate per-operator totals into the live registry.
+	Metrics *metrics.Registry
 
 	// mu guards views: concurrent Exec calls through the service layer
 	// may interleave CREATE VIEW with SELECTs.

@@ -109,7 +109,7 @@ func (ex *Executor) lowerSelect(s *query.Select) (*Lowered, error) {
 	if s.Limit >= 0 {
 		node = plan.NewLimit(node, s.Limit)
 	}
-	l.Plan = &plan.Plan{Root: node, OutID: outID, Trace: ex.Trace}
+	l.Plan = &plan.Plan{Root: node, OutID: outID, Trace: ex.Trace, Metrics: ex.Metrics}
 	return l, nil
 }
 

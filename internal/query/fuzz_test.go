@@ -24,6 +24,21 @@ func FuzzParse(f *testing.F) {
 		"CREATE VIEW V AS SELECT * FROM",
 		"\x00\xff SELECT",
 		strings.Repeat("SELECT ", 50),
+		// The golden-test corpus: every clause shape the differential
+		// harness exercises should be a fuzz starting point too.
+		"SELECT * FROM V1 WHERE x BETWEEN 0 AND 3 AND z = 0",
+		"SELECT wp, oilp FROM V1 WHERE z = 1",
+		"SELECT * FROM V1 ORDER BY x DESC, y, z LIMIT 5",
+		"SELECT wp, oilp FROM V1 ORDER BY wp DESC, oilp LIMIT 7",
+		"SELECT * FROM V1 LIMIT 0",
+		"SELECT x, COUNT(*), MIN(wp), MAX(wp) FROM V1 GROUP BY x ORDER BY x",
+		"SELECT z, SUM(oilp), COUNT(*) FROM V1 GROUP BY z HAVING COUNT(*) > 10 ORDER BY z DESC LIMIT 2",
+		"SELECT MIN(wp), MAX(wp) FROM V1",
+		"SELECT COUNT(*) FROM V1 WHERE y < 2",
+		"SELECT x, COUNT(*) FROM T1 GROUP BY x HAVING COUNT(*) >= 16 ORDER BY x",
+		"CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)",
+		"CREATE VIEW V2 AS SELECT * FROM V1 WHERE x BETWEEN 0 AND 4",
+		"EXPLAIN SELECT * FROM V1 WHERE x < 8 LIMIT 64",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -32,6 +47,13 @@ func FuzzParse(f *testing.F) {
 		st, err := Parse(src)
 		if err != nil {
 			return
+		}
+		if e, ok := st.(*Explain); ok {
+			if e.Select == nil {
+				t.Errorf("accepted EXPLAIN without SELECT: %q", src)
+				return
+			}
+			st = e.Select
 		}
 		switch s := st.(type) {
 		case *Select:

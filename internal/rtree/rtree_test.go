@@ -296,6 +296,141 @@ func TestBulkLoadMatchesIncremental(t *testing.T) {
 	}
 }
 
+// TestPropBulkLoadMatchesIncremental generalizes the single-seed test
+// above into a property: for random datasets, capacities and query loads,
+// the STR-packed tree and the incrementally grown tree answer every range
+// query with the same id multiset, and both pass the structural checker.
+func TestPropBulkLoadMatchesIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cap := 4 + r.Intn(12)
+		n := r.Intn(300) // include tiny trees: 0, 1, < cap, == cap+1 ...
+		boxes := make([]bbox.Box, n)
+		ids := make([]int64, n)
+		incr := New(3, cap)
+		for i := 0; i < n; i++ {
+			boxes[i] = randBox(r, 150)
+			ids[i] = int64(i)
+			incr.Insert(boxes[i], ids[i])
+		}
+		bulk := BulkLoad(3, cap, boxes, ids)
+		if bulk.Len() != n {
+			t.Logf("seed %d: bulk Len = %d, want %d", seed, bulk.Len(), n)
+			return false
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Logf("seed %d bulk: %v", seed, err)
+			return false
+		}
+		if err := incr.CheckInvariants(); err != nil {
+			t.Logf("seed %d incremental: %v", seed, err)
+			return false
+		}
+		for q := 0; q < 15; q++ {
+			query := randBox(r, 170)
+			got := sortedCopy(bulk.Search(query, nil))
+			want := sortedCopy(incr.Search(query, nil))
+			if !eqIDs(got, want) {
+				t.Logf("seed %d query %v: bulk %v, incremental %v", seed, query, got, want)
+				return false
+			}
+		}
+		// Both must remain mutable and consistent after construction.
+		extra := randBox(r, 150)
+		bulk.Insert(extra, int64(n))
+		incr.Insert(extra, int64(n))
+		u := bbox.Universe(3)
+		return eqIDs(sortedCopy(bulk.Search(u, nil)), sortedCopy(incr.Search(u, nil)))
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDegenerateBoxes covers zero-extent geometry: point boxes (lo == hi),
+// boxes flat along some axes, and exact duplicates. Overlap at a shared
+// boundary must count, and duplicates must be individually deletable.
+func TestDegenerateBoxes(t *testing.T) {
+	point := func(x, y, z float64) bbox.Box {
+		return bbox.New([]float64{x, y, z}, []float64{x, y, z})
+	}
+	tr := New(3, 4)
+	bf := &bruteForce{}
+	add := func(b bbox.Box, id int64) {
+		tr.Insert(b, id)
+		bf.boxes = append(bf.boxes, b)
+		bf.ids = append(bf.ids, id)
+	}
+	// A 4x4 lattice of point boxes, some stacked on the same coordinate.
+	id := int64(0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			add(point(float64(i), float64(j), 0), id)
+			id++
+		}
+	}
+	add(point(1, 1, 0), id) // duplicate of an existing point, distinct id
+	dupID := id
+	id++
+	// Flat boxes: a segment along x and a rectangle with zero z extent.
+	add(bbox.New([]float64{0, 2, 0}, []float64{3, 2, 0}), id)
+	segID := id
+	id++
+	add(bbox.New([]float64{0, 0, 0}, []float64{3, 3, 0}), id)
+	id++
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Point query exactly on a lattice site: touches the point box there,
+	// its duplicate, the flat rectangle, and (for y=2 sites) the segment.
+	queries := []bbox.Box{
+		point(1, 1, 0),
+		point(2, 2, 0),
+		point(0, 0, 0),
+		bbox.New([]float64{1, 1, 0}, []float64{1, 2, 0}),
+		bbox.New([]float64{0.5, 1.5, 0}, []float64{2.5, 2.5, 0}),
+		point(9, 9, 9), // disjoint
+	}
+	for _, q := range queries {
+		got := sortedCopy(tr.Search(q, nil))
+		want := sortedCopy(bf.search(q))
+		if !eqIDs(got, want) {
+			t.Errorf("query %v: got %v want %v", q, got, want)
+		}
+	}
+	// The duplicate point is deletable by id without disturbing the original.
+	if !tr.Delete(point(1, 1, 0), dupID) {
+		t.Fatal("delete of duplicate point failed")
+	}
+	if got := tr.Search(point(1, 1, 0), nil); len(got) == 0 {
+		t.Error("original point vanished with its duplicate")
+	}
+	if !tr.Delete(bbox.New([]float64{0, 2, 0}, []float64{3, 2, 0}), segID) {
+		t.Error("delete of flat segment failed")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+
+	// Bulk load of all-identical point boxes must keep every id findable.
+	n := 50
+	boxes := make([]bbox.Box, n)
+	ids := make([]int64, n)
+	for i := range boxes {
+		boxes[i] = point(7, 7, 7)
+		ids[i] = int64(i)
+	}
+	bulk := BulkLoad(3, 4, boxes, ids)
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bulk.Search(point(7, 7, 7), nil); len(got) != n {
+		t.Errorf("identical-point bulk load: found %d of %d", len(got), n)
+	}
+}
+
 func TestBulkLoadSmall(t *testing.T) {
 	empty := BulkLoad(2, 4, nil, nil)
 	if empty.Len() != 0 || len(empty.Search(bbox.Universe(2), nil)) != 0 {

@@ -29,6 +29,7 @@ import (
 	"sciview/internal/cluster"
 	"sciview/internal/costmodel"
 	"sciview/internal/engine"
+	"sciview/internal/metrics"
 	"sciview/internal/planner"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
@@ -66,6 +67,11 @@ type Config struct {
 	// zero (a query may still set its own values).
 	Prefetch    int
 	Parallelism int
+	// Metrics, when set, registers the service's live observability
+	// surface: admission outcome counters, queue-depth / in-flight /
+	// memory-budget gauges, and queue-wait plus end-to-end query latency
+	// histograms. Nil keeps the hot paths on no-op instruments.
+	Metrics *metrics.Registry
 }
 
 // Query is one submission.
@@ -138,6 +144,20 @@ type Service struct {
 	memUsed  int64
 	closed   bool
 	stats    Stats
+	met      svcMetrics
+}
+
+// svcMetrics holds the service's live-registry handles (nil no-ops when
+// Config.Metrics is unset).
+type svcMetrics struct {
+	submitted  *metrics.Counter
+	admitted   *metrics.Counter
+	rejected   *metrics.Counter
+	cancelled  *metrics.Counter
+	completed  *metrics.Counter
+	failed     *metrics.Counter
+	queueWait  *metrics.Histogram
+	runLatency *metrics.Histogram
 }
 
 // New assembles a service over a cluster. The cost-model CPU constants
@@ -156,6 +176,29 @@ func New(cl *cluster.Cluster, cfg Config) *Service {
 	pl.Force = cfg.Force
 	s := &Service{cl: cl, pl: pl, cfg: cfg}
 	s.drained = sync.NewCond(&s.mu)
+	// Nil-safe: with cfg.Metrics == nil every handle is a no-op.
+	reg := cfg.Metrics
+	s.met = svcMetrics{
+		submitted:  reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "submitted"),
+		admitted:   reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "admitted"),
+		rejected:   reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "rejected"),
+		cancelled:  reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "cancelled"),
+		completed:  reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "completed"),
+		failed:     reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "failed"),
+		queueWait:  reg.Histogram("sciview_queue_wait_seconds", "Admission queue wait of admitted queries.", nil),
+		runLatency: reg.Histogram("sciview_query_seconds", "End-to-end execution latency of admitted queries.", nil),
+	}
+	reg.GaugeFunc("sciview_queue_depth", "Queries waiting for admission.", func() float64 {
+		return float64(s.QueueLen())
+	})
+	reg.GaugeFunc("sciview_inflight", "Queries currently executing.", func() float64 {
+		return float64(s.InFlight())
+	})
+	reg.GaugeFunc("sciview_mem_used_bytes", "Working-set estimate bytes charged by in-flight queries.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.memUsed)
+	})
 	return s
 }
 
@@ -185,6 +228,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	before := s.cl.HealthStats()
 	res, err := eng.RunContext(ctx, s.cl, req)
 	recovered := err == nil && healthActivity(s.cl.HealthStats())-healthActivity(before) > 0
+	s.met.runLatency.ObserveSince(runStart)
 	s.finish(w, queueWait, err)
 	if err != nil {
 		return nil, err
@@ -210,6 +254,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 func (s *Service) Executor() *planner.Executor {
 	ex := planner.NewExecutor(s.cl)
 	ex.Planner = s.pl
+	ex.Metrics = s.cfg.Metrics
 	return ex
 }
 
@@ -255,6 +300,7 @@ func (s *Service) SubmitSQL(ctx context.Context, ex *planner.Executor, q SQL) (*
 	before := s.cl.HealthStats()
 	out, err := ex.ExecLowered(ctx, l)
 	recovered := err == nil && healthActivity(s.cl.HealthStats())-healthActivity(before) > 0
+	s.met.runLatency.ObserveSince(runStart)
 	s.finish(w, queueWait, err)
 	if err != nil {
 		return nil, err
@@ -289,17 +335,20 @@ func (s *Service) admit(ctx context.Context, pri int, weight int64) (*waiter, ti
 	if s.closed {
 		s.stats.Rejected++
 		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return nil, 0, ErrClosed
 	}
 	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
 		s.stats.Rejected++
 		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return nil, 0, ErrQueueFull
 	}
 	s.seq++
 	w.seq = s.seq
 	heap.Push(&s.queue, w)
 	s.stats.Submitted++
+	s.met.submitted.Inc()
 	if n := s.queue.Len(); n > s.stats.QueuePeak {
 		s.stats.QueuePeak = n
 	}
@@ -317,6 +366,7 @@ func (s *Service) admit(ctx context.Context, pri int, weight int64) (*waiter, ti
 			heap.Remove(&s.queue, w.index)
 			s.stats.Cancelled++
 			s.mu.Unlock()
+			s.met.cancelled.Inc()
 			return nil, 0, ctx.Err()
 		}
 		s.mu.Unlock()
@@ -364,6 +414,7 @@ func (s *Service) dispatchLocked() {
 		s.inflight++
 		s.memUsed += w.weight
 		s.stats.Admitted++
+		s.met.admitted.Inc()
 		if s.inflight > s.stats.InFlightPeak {
 			s.stats.InFlightPeak = s.inflight
 		}
@@ -377,19 +428,25 @@ func (s *Service) finish(w *waiter, queueWait time.Duration, err error) {
 	s.inflight--
 	s.memUsed -= w.weight
 	s.stats.QueueWait += queueWait
+	var outcome *metrics.Counter
 	switch {
 	case err == nil:
 		s.stats.Completed++
+		outcome = s.met.completed
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.stats.Cancelled++
+		outcome = s.met.cancelled
 	default:
 		s.stats.Failed++
+		outcome = s.met.failed
 	}
 	s.dispatchLocked()
 	if s.inflight == 0 {
 		s.drained.Broadcast()
 	}
 	s.mu.Unlock()
+	outcome.Inc()
+	s.met.queueWait.Observe(queueWait.Seconds())
 }
 
 // healthActivity sums the counters that indicate a run hit (and survived)

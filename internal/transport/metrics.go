@@ -1,0 +1,28 @@
+package transport
+
+import "sciview/internal/metrics"
+
+// Package-level frame/byte counters, nil (no-op) until WireMetrics. They
+// sit at the framing layer, so every TCP exchange — BDS fetches, service
+// RPCs, stats probes — is counted regardless of which Conn carried it.
+// "sent" covers request frames written by clients and response frames
+// written by servers; "recv" covers the mirror reads. With both ends
+// in-process (loopback clusters) each frame is therefore observed twice:
+// once per side, like a per-host NIC counter would.
+var (
+	metFramesSent *metrics.Counter
+	metFramesRecv *metrics.Counter
+	metBytesSent  *metrics.Counter
+	metBytesRecv  *metrics.Counter
+)
+
+// WireMetrics registers the transport's frame and byte counters in reg.
+// Call once at process startup, before any traffic flows; the framing hot
+// paths read the handles without synchronization afterwards. A nil
+// registry leaves the counters as no-ops.
+func WireMetrics(reg *metrics.Registry) {
+	metFramesSent = reg.Counter("sciview_transport_frames_total", "Wire frames by direction.", "dir", "sent")
+	metFramesRecv = reg.Counter("sciview_transport_frames_total", "Wire frames by direction.", "dir", "recv")
+	metBytesSent = reg.Counter("sciview_transport_bytes_total", "Wire bytes (headers included) by direction.", "dir", "sent")
+	metBytesRecv = reg.Counter("sciview_transport_bytes_total", "Wire bytes (headers included) by direction.", "dir", "recv")
+}

@@ -212,6 +212,8 @@ func readRequest(r io.Reader) (string, []byte, error) {
 		tuple.PutBuf(payload)
 		return "", nil, err
 	}
+	metFramesRecv.Inc()
+	metBytesRecv.Add(int64(2 + int(mlen) + 4 + int(plen)))
 	return string(mbuf), payload, nil
 }
 
@@ -222,6 +224,10 @@ func writeRequest(w io.Writer, method string, payload []byte) error {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	if err == nil {
+		metFramesSent.Inc()
+		metBytesSent.Add(int64(len(buf)))
+	}
 	tuple.PutBuf(buf)
 	return err
 }
@@ -255,6 +261,10 @@ func writeResponse(w io.Writer, resp []byte, herr error) error {
 		buf = append(buf, resp...)
 	}
 	_, err := w.Write(buf)
+	if err == nil {
+		metFramesSent.Inc()
+		metBytesSent.Add(int64(len(buf)))
+	}
 	tuple.PutBuf(buf)
 	return err
 }
@@ -276,6 +286,8 @@ func readResponse(r io.Reader) ([]byte, byte, error) {
 		tuple.PutBuf(body)
 		return nil, 0, err
 	}
+	metFramesRecv.Inc()
+	metBytesRecv.Add(int64(1 + 4 + int(n)))
 	return body, status[0], nil
 }
 

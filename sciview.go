@@ -7,6 +7,7 @@ import (
 
 	"sciview/internal/cluster"
 	"sciview/internal/fault"
+	"sciview/internal/metrics"
 	"sciview/internal/planner"
 	"sciview/internal/trace"
 )
@@ -52,6 +53,10 @@ type ClusterSpec struct {
 	// probe after 100ms).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Metrics, when set, wires the system into a live metrics registry
+	// (cache, breaker, fetch and per-operator instruments); serve it with
+	// metrics.Handler or metrics.Serve. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // System is a running view-creation framework instance: an emulated
@@ -99,11 +104,14 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 		Faults:           inj,
 		BreakerThreshold: spec.BreakerThreshold,
 		BreakerCooldown:  spec.BreakerCooldown,
+		Metrics:          spec.Metrics,
 	}, ds.catalog, ds.stores)
 	if err != nil {
 		return nil, err
 	}
-	return &System{cluster: cl, executor: planner.NewExecutor(cl)}, nil
+	ex := planner.NewExecutor(cl)
+	ex.Metrics = spec.Metrics
+	return &System{cluster: cl, executor: ex}, nil
 }
 
 // Close releases the system's network resources (TCP mode only).

@@ -7,16 +7,22 @@
 # A second leg runs the streaming-plan LIMIT early-exit benchmark
 # (materialized full-schedule join vs streaming cancel-on-limit) and writes
 # the edge-fraction/peak-memory comparison to BENCH_pr4.json.
+# A third leg is the metrics overhead guard: the IJ workload with a no-op
+# (nil) registry vs a live instrumented one, plus the instrument
+# microbenches, written to BENCH_pr5.json; the headline ratio
+# metrics_overhead_fraction must stay ≤ 0.03.
 #
-#   scripts/bench.sh [pr3-output.json] [pr4-output.json]
+#   scripts/bench.sh [pr3-output.json] [pr4-output.json] [pr5-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr3.json}"
 out4="${2:-BENCH_pr4.json}"
+out5="${3:-BENCH_pr5.json}"
 raw="$(mktemp)"
 raw4="$(mktemp)"
-trap 'rm -f "$raw" "$raw4"' EXIT
+raw5="$(mktemp)"
+trap 'rm -f "$raw" "$raw4" "$raw5"' EXIT
 
 echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
@@ -107,3 +113,42 @@ END {
 
 echo "== wrote $out4"
 cat "$out4"
+
+echo "== metrics overhead (IJ workload: no-op registry vs instrumented)"
+go test -run '^$' -bench BenchmarkIJMetricsOverhead -benchtime 5x \
+    ./internal/ij/ | tee "$raw5"
+
+echo "== metrics instruments (nil vs live counter, live histogram)"
+go test -run '^$' -bench 'BenchmarkCounterNoop|BenchmarkCounterLive|BenchmarkHistogramLive' \
+    -benchmem ./internal/metrics/ | tee -a "$raw5"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bop[name] = $(i-1)
+        if ($i == "allocs/op") aop[name] = $(i-1)
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", k, ns[k]
+        if (k in bop) printf ", \"bytes_per_op\": %s", bop[k]
+        if (k in aop) printf ", \"allocs_per_op\": %s", aop[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    off = ns["BenchmarkIJMetricsOverhead/noop"]
+    on  = ns["BenchmarkIJMetricsOverhead/instrumented"]
+    if (off && on) printf "    \"metrics_overhead_fraction\": %.4f\n", on / off - 1
+    printf "  }\n}\n"
+}
+' "$raw5" > "$out5"
+
+echo "== wrote $out5"
+cat "$out5"

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository health check: build, vet, full test suite, then the race
 # detector over the concurrency-sensitive packages (query service, cache +
-# singleflight, transport, cluster) and the root short-mode service bench.
+# singleflight, transport, cluster) and the root short-mode service bench,
+# the metrics stress test (/metrics scraped while concurrent queries run),
+# the differential harness, and a parser fuzz smoke.
 # Mirrors `make check` for environments without make.
 set -eu
 
@@ -34,6 +36,16 @@ go test -race -count=3 ./internal/hashjoin ./internal/ij ./internal/gh ./interna
 
 echo "== go test (GOMAXPROCS=1: parallel paths degrade to serial cleanly)"
 GOMAXPROCS=1 go test -count=1 ./internal/hashjoin ./internal/ij ./internal/gh
+
+echo "== go test -race (metrics registry + /metrics scraped during a concurrent bench run)"
+go test -race -count=1 ./internal/metrics
+go test -race -count=1 -run TestMetricsScrapeDuringServiceBench .
+
+echo "== go test -race (differential harness: streaming==materialized, IJ==GH, faulted leg)"
+go test -race -count=1 -run TestDifferential ./internal/planner
+
+echo "== fuzz smoke (parser must never panic, 10s)"
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/query
 
 echo "== bench smoke (kernels + codec, 100 iterations)"
 go test -run '^$' -bench . -benchtime 100x ./internal/hashjoin ./internal/tuple

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"sciview/internal/engine"
+	"sciview/internal/metrics"
 	"sciview/internal/planner"
 	"sciview/internal/service"
+	"sciview/internal/transport"
 )
 
 // DefaultPrefetch re-exports engine.DefaultPrefetch so command-line tools
@@ -57,6 +59,12 @@ type ServiceBenchSpec struct {
 	// view V1 (T1 ⋈ T2 on x, y, z), e.g.
 	// "SELECT * FROM V1 WHERE x < 8 LIMIT 64".
 	SQL string
+	// MetricsAddr, when set, instruments the whole stack with a live
+	// metrics registry, serves it (Prometheus text format on /metrics,
+	// pprof on /debug/pprof/) at this address for the duration of the run,
+	// and appends a registry snapshot to the report. ":0" picks a free
+	// port. Empty disables instrumentation entirely.
+	MetricsAddr string
 }
 
 // ServiceBenchResult reports one benchmark run.
@@ -109,7 +117,12 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 	if err != nil {
 		return nil, err
 	}
-	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes, Faults: spec.Faults})
+	var reg *metrics.Registry
+	if spec.MetricsAddr != "" {
+		reg = metrics.NewRegistry()
+		transport.WireMetrics(reg)
+	}
+	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes, Faults: spec.Faults, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +130,19 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 		MaxInFlight:  spec.MaxInFlight,
 		MemoryBudget: spec.MemoryBudget,
 		Force:        spec.Engine,
+		Metrics:      reg,
 	})
 	defer svc.Close()
+	if reg != nil {
+		closer, addr, err := metrics.Serve(spec.MetricsAddr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("sciview: metrics listener: %w", err)
+		}
+		defer closer.Close()
+		if w != nil {
+			fmt.Fprintf(w, "metrics: http://%s/metrics (pprof on /debug/pprof/)\n", addr)
+		}
+	}
 
 	query := service.Query{Req: engine.Request{
 		LeftTable: "T1", RightTable: "T2", JoinAttrs: []string{"x", "y", "z"},
@@ -207,6 +231,16 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 	}
 	if w != nil {
 		res.Print(w, spec)
+		if reg != nil {
+			fmt.Fprintln(w, "  metrics snapshot:")
+			for _, s := range reg.Snapshot() {
+				if s.IsHist {
+					fmt.Fprintf(w, "    %-44s count %.0f sum %.6g\n", s.Name, s.Value, s.Sum)
+					continue
+				}
+				fmt.Fprintf(w, "    %-44s %g\n", s.Name, s.Value)
+			}
+		}
 	}
 	return res, nil
 }
