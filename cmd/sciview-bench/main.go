@@ -17,6 +17,14 @@
 //
 //	sciview-bench -concurrency 8 -duration 10s -max-inflight 4
 //	sciview-bench -concurrency 8 -sql 'SELECT * FROM V1 WHERE x < 8 LIMIT 64'
+//
+// Adding -ingest-steps N turns a -concurrency run into the
+// ingest-while-querying scenario: N time-step append batches commit
+// spread across the window while the clients query, and a reader pinned
+// to the pre-ingest dataset version audits snapshot isolation after every
+// commit.
+//
+//	sciview-bench -concurrency 8 -ingest-steps 4
 package main
 
 import (
@@ -50,6 +58,7 @@ func main() {
 		prefetch    = flag.Int("prefetch", sciview.DefaultPrefetch, "IJ joiner lookahead depth for -concurrency (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "hash-join kernel workers for -concurrency (0 = all CPUs, 1 = serial)")
 		sqlQuery    = flag.String("sql", "", "SQL SELECT each -concurrency client submits via the streaming plan layer (may use T1, T2 and view V1; empty = raw join request)")
+		ingestSteps = flag.Int("ingest-steps", 0, "commit this many time-step append batches spread across the -concurrency window, auditing snapshot isolation with a version-pinned reader")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (/metrics, /debug/pprof/) at this address during -concurrency runs and dump a snapshot in the report; empty disables instrumentation")
 	)
 	flag.Parse()
@@ -68,6 +77,7 @@ func main() {
 			Prefetch:     *prefetch,
 			Parallelism:  *parallelism,
 			SQL:          *sqlQuery,
+			IngestSteps:  *ingestSteps,
 			MetricsAddr:  *metricsAddr,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)

@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 2006, "measure-value seed")
 		measures = flag.Int("measures", 1, "scalar attributes per table (record = 3 coords + measures)")
 		replicas = flag.Int("replicas", 1, "placements per chunk (clamped to -nodes; R>=2 survives R-1 storage failures)")
+		steps    = flag.Int("timesteps", 0, "withhold the last N time-step slabs (along Z) as append batches under <out>/steps/")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -74,14 +75,43 @@ func main() {
 			spec.RightMeasures = append(spec.RightMeasures, fmt.Sprintf("rm%d", i))
 		}
 	}
-	ds, err := sciview.GenerateOilReservoir(spec)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		ds      *sciview.Dataset
+		batches []*sciview.Batch
+		err2    error
+	)
+	if *steps > 0 {
+		ds, batches, err2 = sciview.GenerateOilReservoirSteps(spec, *steps)
+	} else {
+		ds, err2 = sciview.GenerateOilReservoir(spec)
+	}
+	if err2 != nil {
+		log.Fatal(err2)
 	}
 	if err := sciview.SaveDataset(ds, *out); err != nil {
 		log.Fatal(err)
 	}
+	if len(batches) > 0 {
+		if err := sciview.SaveBatches(*out, batches); err != nil {
+			log.Fatal(err)
+		}
+	}
 	tuples := int64(g.X) * int64(g.Y) * int64(g.Z)
 	fmt.Printf("wrote dataset to %s: tables %v, T=%d tuples/table, %d storage nodes\n",
 		*out, ds.Tables(), tuples, *nodes)
+	if len(batches) > 0 {
+		fmt.Printf("withheld %d time-step append batches under %s/steps/ (base covers the first %d Z cells)\n",
+			len(batches), *out, g.Z-*steps*stepZ(p, q))
+	}
+}
+
+// stepZ mirrors the generator's slab depth: the smallest Z extent that is
+// whole block layers in both partitions.
+func stepZ(p, q sciview.Dims) int {
+	a, b := p.Z, q.Z
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
 }

@@ -9,6 +9,13 @@
 //	sciview-serve -data /tmp/reservoir -addr 127.0.0.1:7080 \
 //	    -compute 4 -max-inflight 4 -mem-budget 268435456
 //
+// A dataset generated with `sciview-gen -timesteps N` carries withheld
+// time-step append batches; -replay-steps commits them on an interval
+// while serving, so clients watch the dataset grow (each commit is one
+// new dataset version; queries stay pinned to their admission version):
+//
+//	sciview-serve -data /tmp/reservoir -replay-steps 5s ...
+//
 // Submit a query from another process (client mode):
 //
 //	sciview-serve -query -addr 127.0.0.1:7080 -left T1 -right T2 \
@@ -58,6 +65,7 @@ func main() {
 		prefetch    = flag.Int("prefetch", engine.DefaultPrefetch, "default IJ joiner lookahead depth for queries that leave it unset (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "default hash-join kernel workers for queries that leave it unset (0 = all CPUs, 1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
+		replaySteps = flag.Duration("replay-steps", 0, "replay the dataset's withheld time-step batches (<data>/steps/, from sciview-gen -timesteps) at this interval while serving; queries in flight stay pinned to their admission version (0 disables)")
 		// Client mode.
 		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
 		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
@@ -116,6 +124,34 @@ func main() {
 		}
 		defer mcloser.Close()
 		fmt.Printf("metrics at http://%s/metrics (pprof on /debug/pprof/)\n", maddr)
+	}
+
+	if *replaySteps > 0 {
+		batches, err := sciview.LoadBatches(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(batches) == 0 {
+			log.Fatalf("-replay-steps: no append batches under %s/steps/ (generate with sciview-gen -timesteps)", *data)
+		}
+		ing, err := sys.Ingestor(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for _, b := range batches {
+				time.Sleep(*replaySteps)
+				v, err := ing.Append(b)
+				if err != nil {
+					log.Printf("ingest: step %d failed: %v", b.Step(), err)
+					return
+				}
+				fmt.Printf("ingest: step %d committed as dataset version %d (%d chunks)\n",
+					b.Step(), v, b.NumChunks())
+			}
+			fmt.Println("ingest: replay complete; dataset fully grown")
+		}()
+		fmt.Printf("ingest: replaying %d time-step batches every %v\n", len(batches), *replaySteps)
 	}
 
 	tr := transport.NewTCP()

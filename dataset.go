@@ -109,9 +109,8 @@ type OilReservoirSpec struct {
 	Replicas int
 }
 
-// GenerateOilReservoir builds the synthetic dataset in memory.
-func GenerateOilReservoir(spec OilReservoirSpec) (*Dataset, error) {
-	ds, err := oilres.Generate(oilres.Config{
+func (spec OilReservoirSpec) internal() oilres.Config {
+	return oilres.Config{
 		Grid:          spec.Grid.internal(),
 		LeftPart:      spec.LeftPart.internal(),
 		RightPart:     spec.RightPart.internal(),
@@ -123,7 +122,12 @@ func GenerateOilReservoir(spec OilReservoirSpec) (*Dataset, error) {
 		Format:        spec.Format,
 		Seed:          spec.Seed,
 		Replicas:      spec.Replicas,
-	})
+	}
+}
+
+// GenerateOilReservoir builds the synthetic dataset in memory.
+func GenerateOilReservoir(spec OilReservoirSpec) (*Dataset, error) {
+	ds, err := oilres.Generate(spec.internal())
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,12 @@ type Desc struct {
 	// storage nodes, for failover when Node is unreachable. The primary
 	// placement (Node/Object/Offset) is not repeated here.
 	Replicas []Replica
+	// Version is the catalog version at which the chunk became visible.
+	// Chunks loaded with the initial dataset carry the catalog's version at
+	// load time (1 for a fresh catalog); appended chunks carry the version
+	// their append batch committed. Queries pinned to version v see exactly
+	// the chunks with Version <= v.
+	Version int64
 }
 
 // Replica is one extra placement of a chunk: the same encoded bytes stored

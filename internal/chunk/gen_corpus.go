@@ -1,0 +1,72 @@
+//go:build ignore
+
+// Generates the on-disk seed corpus for FuzzExtractors under
+// testdata/fuzz/FuzzExtractors/: real RLE- and ColMajor-encoded chunks
+// (full, truncated, and bit-flipped), so fuzzing starts from inputs that
+// exercise the decoders' deep paths instead of rediscovering the framing
+// from scratch. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"sciview/internal/chunk"
+	"sciview/internal/tuple"
+)
+
+func main() {
+	schema := tuple.NewSchema(
+		tuple.Attr{Name: "x", Kind: tuple.Coord},
+		tuple.Attr{Name: "y", Kind: tuple.Coord},
+		tuple.Attr{Name: "oilp", Kind: tuple.Measure},
+	)
+	r := rand.New(rand.NewSource(77))
+	st := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 9}, schema, 9)
+	for i := 0; i < 9; i++ {
+		st.AppendRow(float32(r.Intn(100)), float32(r.Intn(100)), r.Float32())
+	}
+	// A run-heavy table: RLE's best case, so runs actually span rows.
+	runs := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 10}, schema, 16)
+	for i := 0; i < 16; i++ {
+		runs.AppendRow(float32(i/8), 4, 0.5)
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzExtractors")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, format string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\nstring(%q)\n[]byte(%q)\n", format, data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, format := range []string{"rle", "colmajor"} {
+		e, err := chunk.Lookup(format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := e.Encode(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write("seed_"+format, format, data)
+		write("seed_"+format+"_truncated", format, data[:len(data)*2/3])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0x40
+		write("seed_"+format+"_bitflip", format, flipped)
+
+		runData, err := e.Encode(runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write("seed_"+format+"_runs", format, runData)
+	}
+	fmt.Printf("wrote corpus to %s\n", dir)
+}

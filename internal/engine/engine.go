@@ -78,6 +78,36 @@ type Request struct {
 	// an error return, so an early-terminated query can report how much of
 	// the join it actually executed.
 	Progress *Progress
+	// AsOf pins chunk resolution to a catalog version for snapshot-isolated
+	// reads: both sides see exactly the chunks committed at or before AsOf,
+	// so appends that land mid-query never perturb the result. 0 means
+	// "current" (unpinned). The query service stamps this at admission.
+	AsOf int64
+	// LeftVersions and RightVersions narrow each side to a window of append
+	// versions (delta-join view maintenance resolves "only the chunks of
+	// batch v" this way). A zero window is unconstrained. When set, the
+	// window's Until — if zero — inherits AsOf, so deltas compose with
+	// snapshot pins.
+	LeftVersions  metadata.VersionWindow
+	RightVersions metadata.VersionWindow
+}
+
+// LeftWindow returns the effective version window for the left side:
+// LeftVersions with an unset Until defaulting to AsOf.
+func (r Request) LeftWindow() metadata.VersionWindow {
+	return effectiveWindow(r.LeftVersions, r.AsOf)
+}
+
+// RightWindow returns the effective version window for the right side.
+func (r Request) RightWindow() metadata.VersionWindow {
+	return effectiveWindow(r.RightVersions, r.AsOf)
+}
+
+func effectiveWindow(w metadata.VersionWindow, asOf int64) metadata.VersionWindow {
+	if w.Until == 0 {
+		w.Until = asOf
+	}
+	return w
 }
 
 // Sink consumes streamed join output. Engines call Emit from the

@@ -130,7 +130,9 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		return nil, err
 	}
 	leftFilter := filterFor(leftDef, req.Filter)
+	leftFilter.Versions = req.LeftWindow()
 	rightFilter := filterFor(rightDef, req.Filter)
+	rightFilter.Versions = req.RightWindow()
 	project := req.EffectiveProject()
 	leftSchema := engine.ProjectedSchema(leftDef.Schema, project)
 	rightSchema := engine.ProjectedSchema(rightDef.Schema, project)

@@ -111,7 +111,9 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		return nil, err
 	}
 	leftFilter := engineFilterFor(leftDef, req.Filter)
+	leftFilter.Versions = req.LeftWindow()
 	rightFilter := engineFilterFor(rightDef, req.Filter)
+	rightFilter.Versions = req.RightWindow()
 
 	if req.Shared {
 		cl.AcquireShared()

@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"sync"
+
+	"sciview/internal/bbox"
+	"sciview/internal/cache"
+	"sciview/internal/chunk"
+	"sciview/internal/tuple"
+)
+
+// ResultCache is a derived-result cache that stays correct under ingest:
+// each entry registers the table regions its result was computed from, and
+// an append commit removes exactly the entries whose regions intersect the
+// new chunks — the watcher's R-tree answers "which entries", so a commit
+// never flushes the cache wholesale. Entries for untouched regions keep
+// serving hits across any number of appends.
+//
+// (The per-chunk sub-table caches on the compute nodes need no
+// invalidation at all: chunk bytes are immutable and chunk ids are never
+// reused, so those entries are valid at every version that can see their
+// chunk. Only results derived from a *set* of chunks — the set an append
+// can grow — go stale, and those are what this cache holds.)
+type ResultCache struct {
+	w *Watcher
+
+	mu      sync.Mutex
+	c       cache.Cache[string, *tuple.SubTable]
+	handles map[string]int
+}
+
+// NewResultCache builds an LRU result cache of the given byte capacity,
+// wired to the watcher for targeted invalidation.
+func NewResultCache(w *Watcher, capacity int64) (*ResultCache, error) {
+	c, err := cache.NewPolicy[string, *tuple.SubTable]("lru", capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultCache{w: w, c: c, handles: make(map[string]int)}, nil
+}
+
+// Get returns the cached result for key, if still valid.
+func (rc *ResultCache) Get(key string) (*tuple.SubTable, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	v, ok := rc.c.Get(key)
+	if !ok {
+		// Capacity eviction bypasses invalidate: reap the orphaned
+		// watcher registration here so the region index doesn't
+		// accumulate dead entries.
+		if h, reg := rc.handles[key]; reg {
+			rc.w.Unregister(h)
+			delete(rc.handles, key)
+		}
+	}
+	return v, ok
+}
+
+// Put caches a result with the regions it depends on (table name →
+// coordinate box, see RegionFor). A later commit intersecting any region
+// removes the entry.
+func (rc *ResultCache) Put(key string, rows *tuple.SubTable, regions map[string]bbox.Box) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if h, ok := rc.handles[key]; ok {
+		rc.w.Unregister(h)
+		delete(rc.handles, key)
+	}
+	rc.c.Put(key, rows, int64(rows.Bytes()))
+	rc.handles[key] = rc.w.Register(&Dependent{
+		Name:    "result:" + key,
+		Regions: regions,
+		Notify:  func(int64, []*chunk.Desc) { rc.invalidate(key) },
+	})
+}
+
+// invalidate drops one entry and its watcher registration.
+func (rc *ResultCache) invalidate(key string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	h, ok := rc.handles[key]
+	if !ok {
+		return
+	}
+	rc.w.Unregister(h)
+	delete(rc.handles, key)
+	rc.c.Remove(key)
+}
+
+// Len reports the number of live entries.
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.c.Len()
+}

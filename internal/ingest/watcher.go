@@ -1,0 +1,192 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+
+	"sciview/internal/bbox"
+	"sciview/internal/chunk"
+	"sciview/internal/metadata"
+	"sciview/internal/metrics"
+	"sciview/internal/rtree"
+	"sciview/internal/tuple"
+)
+
+// Dependent is one consumer of freshness notifications: a cached result, a
+// materialized view, or anything else whose validity depends on a region
+// of one or more tables. It is notified only when a committed batch
+// contains a chunk whose bounding box intersects one of its regions —
+// appends elsewhere in the grid leave it untouched.
+type Dependent struct {
+	// Name labels the dependent (diagnostics).
+	Name string
+	// Regions maps table names to the coordinate-space box the dependent
+	// covers on that table (see RegionFor). Tables not listed never
+	// trigger notification.
+	Regions map[string]bbox.Box
+	// Notify is called after a commit with the new version and the batch
+	// chunks that intersected the dependent (a subset of the batch). It
+	// runs on the committing goroutine, outside the watcher's lock, so it
+	// may query the catalog and may Register/Unregister dependents
+	// (including itself — how cache entries self-invalidate).
+	Notify func(version int64, descs []*chunk.Desc)
+}
+
+// Watcher routes commit notifications to the dependents each batch
+// actually touches. Dependent regions are indexed in a per-table R-tree —
+// the same structure the catalog resolves ranges with — so a commit costs
+// one R-tree query per new chunk, not a scan of every dependent (and never
+// a full cache flush).
+type Watcher struct {
+	cat *metadata.Catalog
+
+	mu    sync.Mutex
+	deps  map[int]*Dependent
+	next  int
+	trees map[int32]*rtree.Tree // table id → R-tree over dependents' regions
+
+	invalidations *metrics.Counter
+}
+
+// NewWatcher builds a watcher over a catalog. reg may be nil.
+func NewWatcher(cat *metadata.Catalog, reg *metrics.Registry) *Watcher {
+	return &Watcher{
+		cat:   cat,
+		deps:  make(map[int]*Dependent),
+		trees: make(map[int32]*rtree.Tree),
+		invalidations: reg.Counter("sciview_ingest_invalidations_total",
+			"Dependent notifications triggered by append commits (targeted, not flushes)."),
+	}
+}
+
+// RegionFor projects a range filter onto a table schema's coordinate
+// attributes: the box a dependent restricted by that filter covers.
+// Unconstrained coordinates span the same clamped pseudo-infinite interval
+// the catalog's R-tree uses, so an unfiltered dependent intersects every
+// chunk of its table.
+func RegionFor(schema tuple.Schema, r metadata.Range) bbox.Box {
+	const clamp = 1e12 // mirrors the catalog's coordBox clamp
+	ci := schema.CoordIndexes()
+	box := bbox.Universe(len(ci))
+	for d, idx := range ci {
+		name := schema.Attrs[idx].Name
+		for i, a := range r.Attrs {
+			if a == name {
+				box.Lo[d] = math.Max(box.Lo[d], r.Lo[i])
+				box.Hi[d] = math.Min(box.Hi[d], r.Hi[i])
+			}
+		}
+		box.Lo[d] = math.Max(box.Lo[d], -clamp)
+		box.Hi[d] = math.Min(box.Hi[d], clamp)
+	}
+	return box
+}
+
+// Register adds a dependent and returns its handle for Unregister.
+func (w *Watcher) Register(d *Dependent) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.next
+	w.next++
+	w.deps[id] = d
+	w.rebuildLocked()
+	return id
+}
+
+// Unregister removes a dependent. Unknown handles are ignored.
+func (w *Watcher) Unregister(id int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.deps[id]; !ok {
+		return
+	}
+	delete(w.deps, id)
+	w.rebuildLocked()
+}
+
+// rebuildLocked reconstructs the per-table region indexes with STR bulk
+// loading. Dependent populations are small and change rarely (view
+// definition time), so rebuild-on-change keeps the commit path read-only.
+func (w *Watcher) rebuildLocked() {
+	boxes := make(map[int32][]bbox.Box)
+	ids := make(map[int32][]int64)
+	for id, d := range w.deps {
+		for table, box := range d.Regions {
+			def, err := w.cat.Table(table)
+			if err != nil {
+				continue // table dropped or not yet created: never notified
+			}
+			boxes[def.ID] = append(boxes[def.ID], box)
+			ids[def.ID] = append(ids[def.ID], int64(id))
+		}
+	}
+	w.trees = make(map[int32]*rtree.Tree, len(boxes))
+	for tid, bs := range boxes {
+		def, err := w.cat.TableByID(tid)
+		if err != nil {
+			continue
+		}
+		w.trees[tid] = rtree.BulkLoad(len(def.Schema.CoordIndexes()), 0, bs, ids[tid])
+	}
+}
+
+// Commit routes one committed batch: each new chunk's coordinate box is
+// queried against its table's dependent index, and every dependent hit is
+// notified once with the chunks that touched it. The ingest path calls
+// this after the catalog commit.
+func (w *Watcher) Commit(version int64, descs []*chunk.Desc) {
+	type hit struct {
+		dep   *Dependent
+		descs []*chunk.Desc
+	}
+	w.mu.Lock()
+	hits := make(map[int]*hit)
+	order := make([]int, 0, 4) // deterministic notify order (registration)
+	for _, d := range descs {
+		tree, ok := w.trees[d.Table]
+		if !ok {
+			continue
+		}
+		def, err := w.cat.TableByID(d.Table)
+		if err != nil {
+			continue
+		}
+		for _, id := range tree.Search(coordBoxFor(def.Schema, d.Bounds), nil) {
+			h, ok := hits[int(id)]
+			if !ok {
+				h = &hit{dep: w.deps[int(id)]}
+				hits[int(id)] = h
+				order = append(order, int(id))
+			}
+			h.descs = append(h.descs, d)
+		}
+	}
+	w.mu.Unlock()
+
+	for i := 1; i < len(order); i++ { // insertion sort: tiny n
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, id := range order {
+		h := hits[id]
+		w.invalidations.Inc()
+		if h.dep.Notify != nil {
+			h.dep.Notify(version, h.descs)
+		}
+	}
+}
+
+// coordBoxFor projects a full-schema chunk box onto the coordinate
+// dimensions with the catalog's clamp.
+func coordBoxFor(schema tuple.Schema, full bbox.Box) bbox.Box {
+	const clamp = 1e12
+	ci := schema.CoordIndexes()
+	lo := make([]float64, len(ci))
+	hi := make([]float64, len(ci))
+	for i, idx := range ci {
+		lo[i] = math.Max(full.Lo[idx], -clamp)
+		hi[i] = math.Min(full.Hi[idx], clamp)
+	}
+	return bbox.New(lo, hi)
+}

@@ -34,16 +34,32 @@ type Catalog struct {
 	chunks    map[int32][]*chunk.Desc
 	trees     map[int32]*rtree.Tree // indexed over coordinate attrs only
 	nextTable int32
+	// version is the monotonic dataset version. It starts at 1 (the version
+	// of everything loaded administratively) and advances by one per
+	// committed append batch, so version 0 is free to mean "current" in
+	// query pins.
+	version int64
 }
 
-// NewCatalog returns an empty catalog.
+// NewCatalog returns an empty catalog at version 1.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		byName: make(map[string]*TableDef),
-		byID:   make(map[int32]*TableDef),
-		chunks: make(map[int32][]*chunk.Desc),
-		trees:  make(map[int32]*rtree.Tree),
+		byName:  make(map[string]*TableDef),
+		byID:    make(map[int32]*TableDef),
+		chunks:  make(map[int32][]*chunk.Desc),
+		trees:   make(map[int32]*rtree.Tree),
+		version: 1,
 	}
+}
+
+// Version returns the current dataset version: 1 for a freshly loaded
+// dataset, +1 per committed append batch. A query that wants
+// snapshot-isolated reads records this value at admission and resolves
+// every chunk set with Versions.Until pinned to it.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // CreateTable registers a virtual table and returns its definition. The
@@ -115,9 +131,42 @@ func (c *Catalog) AddChunk(tableID int32, d *chunk.Desc) (tuple.ID, error) {
 	}
 	d.Table = tableID
 	d.Chunk = int32(len(c.chunks[tableID]))
+	d.Version = c.version
 	c.chunks[tableID] = append(c.chunks[tableID], d)
 	c.trees[tableID].Insert(coordBox(def.Schema, d.Bounds), int64(d.Chunk))
 	return d.ID(), nil
+}
+
+// AppendVersion atomically registers a batch of new chunks as one new
+// catalog version and returns that version. Each descriptor must carry the
+// id of an existing table in Table and full-schema Bounds; chunk ids are
+// assigned here and the descriptors are stamped with the new version. The
+// batch commits as a unit under the catalog lock: a concurrent
+// ChunksInRange either sees none of the batch or all of it, and a reader
+// pinned to an older version never sees it at all. Chunk placement in the
+// R-tree uses the incremental insert path (no index rebuild).
+func (c *Catalog) AppendVersion(descs []*chunk.Desc) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range descs {
+		def, ok := c.byID[d.Table]
+		if !ok {
+			return 0, fmt.Errorf("metadata: append to unknown table id %d", d.Table)
+		}
+		if d.Bounds.Dims() != def.Schema.NumAttrs() {
+			return 0, fmt.Errorf("metadata: append chunk bounds have %d dims, table %q has %d attrs",
+				d.Bounds.Dims(), def.Name, def.Schema.NumAttrs())
+		}
+	}
+	c.version++
+	for _, d := range descs {
+		def := c.byID[d.Table]
+		d.Chunk = int32(len(c.chunks[d.Table]))
+		d.Version = c.version
+		c.chunks[d.Table] = append(c.chunks[d.Table], d)
+		c.trees[d.Table].Insert(coordBox(def.Schema, d.Bounds), int64(d.Chunk))
+	}
+	return c.version, nil
 }
 
 // AddReplica records an extra placement of chunk (tableID, chunkID). The
@@ -172,15 +221,43 @@ func (c *Catalog) Chunks(tableID int32) []*chunk.Desc {
 	return c.chunks[tableID]
 }
 
+// VersionWindow restricts chunk resolution to a half-open interval of
+// catalog versions: a chunk is visible iff Since < chunk.Version <= Until.
+// The zero window (0, 0) is unconstrained — Until == 0 means "current"
+// (no upper bound) and Since == 0 admits the initially loaded chunks
+// (which carry version >= 1). Snapshot-isolated reads set Until to the
+// version pinned at admission; delta-join maintenance sets Since to the
+// previously refreshed version to resolve only the new chunks.
+type VersionWindow struct {
+	Since int64
+	Until int64
+}
+
+// Unconstrained reports whether the window admits every version.
+func (w VersionWindow) Unconstrained() bool { return w.Since == 0 && w.Until == 0 }
+
+// Admits reports whether a chunk at version v is visible in the window.
+func (w VersionWindow) Admits(v int64) bool {
+	return v > w.Since && (w.Until == 0 || v <= w.Until)
+}
+
 // Range is a conjunction of per-attribute interval constraints, the
-// "WHERE x in [0,256], y in [0,512]" part of the paper's queries.
+// "WHERE x in [0,256], y in [0,512]" part of the paper's queries, plus an
+// optional catalog-version window for snapshot-isolated and delta reads.
 type Range struct {
 	Attrs []string
 	Lo    []float64
 	Hi    []float64
+	// Versions restricts resolution to chunks whose commit version lies in
+	// the window. It does not participate in fetch signatures: chunk bytes
+	// are immutable and chunk ids are never reused, so a cached sub-table
+	// is valid at every version that can see its chunk.
+	Versions VersionWindow
 }
 
-// Empty reports whether the range imposes no constraints.
+// Empty reports whether the range imposes no row constraints. A version
+// window alone does not make a range non-empty: versions select chunks,
+// never rows.
 func (r Range) Empty() bool { return len(r.Attrs) == 0 }
 
 // Validate checks arity and interval ordering.
@@ -252,6 +329,9 @@ func (c *Catalog) ChunksInRange(table string, r Range) ([]*chunk.Desc, error) {
 candidates:
 	for _, id := range ids {
 		d := c.chunks[def.ID][id]
+		if !r.Versions.Admits(d.Version) {
+			continue
+		}
 		for _, s := range scalars {
 			if d.Bounds.Lo[s.idx] > s.hi || d.Bounds.Hi[s.idx] < s.lo {
 				continue candidates
@@ -277,13 +357,14 @@ type snapshot struct {
 	Tables    []TableDef
 	Chunks    map[int32][]*chunk.Desc
 	NextTable int32
+	Version   int64
 }
 
 // Save writes the catalog to w (gob encoding).
 func (c *Catalog) Save(w io.Writer) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	snap := snapshot{Chunks: c.chunks, NextTable: c.nextTable}
+	snap := snapshot{Chunks: c.chunks, NextTable: c.nextTable, Version: c.version}
 	for _, def := range c.byID {
 		snap.Tables = append(snap.Tables, *def)
 	}
@@ -307,6 +388,23 @@ func (c *Catalog) Load(r io.Reader) error {
 	}
 	c.trees = make(map[int32]*rtree.Tree, len(snap.Tables))
 	c.nextTable = snap.NextTable
+	// Images saved before catalogs were versioned carry Version 0 and
+	// descriptors stamped 0: normalize both to version 1 so visibility
+	// arithmetic (Since < v <= Until) treats them as initially loaded.
+	c.version = snap.Version
+	if c.version < 1 {
+		c.version = 1
+	}
+	for _, descs := range c.chunks {
+		for _, d := range descs {
+			if d.Version < 1 {
+				d.Version = 1
+			}
+			if d.Version > c.version {
+				c.version = d.Version
+			}
+		}
+	}
 	for i := range snap.Tables {
 		def := snap.Tables[i]
 		c.byName[def.Name] = &def

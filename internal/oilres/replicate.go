@@ -17,6 +17,19 @@ import (
 // Like generation, replication is administrative: bytes go straight to the
 // stores, unthrottled — the paper's measured costs begin at query time.
 func Replicate(cat *metadata.Catalog, stores []simio.Store, copies int) error {
+	for _, def := range cat.Tables() {
+		if err := ReplicateDescs(cat, stores, cat.Chunks(def.ID), copies); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplicateDescs raises just the given chunks to `copies` total placements,
+// using the same round-robin placement and "rep/<object>" layout as
+// Replicate. The append-ingest path uses it to replicate only a batch's new
+// chunks instead of re-walking the whole catalog.
+func ReplicateDescs(cat *metadata.Catalog, stores []simio.Store, descs []*chunk.Desc, copies int) error {
 	n := len(stores)
 	if copies > n {
 		copies = n
@@ -24,29 +37,27 @@ func Replicate(cat *metadata.Catalog, stores []simio.Store, copies int) error {
 	if copies < 2 {
 		return nil
 	}
-	for _, def := range cat.Tables() {
-		for _, d := range cat.Chunks(def.ID) {
-			data, err := stores[d.Node].ReadRange(d.Object, d.Offset, d.Size)
-			if err != nil {
-				return fmt.Errorf("oilres: replicating chunk %v: %w", d.ID(), err)
+	for _, d := range descs {
+		data, err := stores[d.Node].ReadRange(d.Object, d.Offset, d.Size)
+		if err != nil {
+			return fmt.Errorf("oilres: replicating chunk %v: %w", d.ID(), err)
+		}
+		node := d.Node
+		for len(d.Nodes()) < copies {
+			node = (node + 1) % n
+			if _, _, ok := d.Locate(node); ok {
+				continue
 			}
-			node := d.Node
-			for len(d.Nodes()) < copies {
-				node = (node + 1) % n
-				if _, _, ok := d.Locate(node); ok {
-					continue
-				}
-				obj := "rep/" + d.Object
-				off, err := stores[node].Size(obj)
-				if err != nil {
-					off = 0 // object not created yet
-				}
-				if err := stores[node].Append(obj, data); err != nil {
-					return fmt.Errorf("oilres: replicating chunk %v to node %d: %w", d.ID(), node, err)
-				}
-				if err := cat.AddReplica(def.ID, d.Chunk, chunk.Replica{Node: node, Object: obj, Offset: off}); err != nil {
-					return err
-				}
+			obj := "rep/" + d.Object
+			off, err := stores[node].Size(obj)
+			if err != nil {
+				off = 0 // object not created yet
+			}
+			if err := stores[node].Append(obj, data); err != nil {
+				return fmt.Errorf("oilres: replicating chunk %v to node %d: %w", d.ID(), node, err)
+			}
+			if err := cat.AddReplica(d.Table, d.Chunk, chunk.Replica{Node: node, Object: obj, Offset: off}); err != nil {
+				return err
 			}
 		}
 	}

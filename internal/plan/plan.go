@@ -109,8 +109,11 @@ type ScanNode struct {
 }
 
 // NewScan builds an executable table scan, validating the predicates and
-// projection against the catalog and resolving the chunks in range.
-func NewScan(cl *cluster.Cluster, table string, preds []query.Pred, proj []string) (*ScanNode, error) {
+// projection against the catalog and resolving the chunks in range. asOf
+// pins resolution to a catalog version (0 = current): the chunk set is
+// fixed at plan-build time, so appends committed after lowering never leak
+// into the scan.
+func NewScan(cl *cluster.Cluster, table string, preds []query.Pred, proj []string, asOf int64) (*ScanNode, error) {
 	def, err := cl.Catalog.Table(table)
 	if err != nil {
 		return nil, err
@@ -131,6 +134,7 @@ func NewScan(cl *cluster.Cluster, table string, preds []query.Pred, proj []strin
 		schema = s
 	}
 	filter := query.ToRange(mine)
+	filter.Versions.Until = asOf
 	descs, err := cl.Catalog.ChunksInRange(table, filter)
 	if err != nil {
 		return nil, err
@@ -227,10 +231,18 @@ func NewJoin(eng engine.Engine, cl *cluster.Cluster, view string, req engine.Req
 	return &JoinNode{
 		Eng: eng, Cluster: cl, View: view, Req: req, Cost: cost,
 		Parts: len(cl.Compute),
-		left:  joinInputScan(cl, req.LeftTable, ls, sideFilter(leftDef.Schema, req.Filter), project),
-		right: joinInputScan(cl, req.RightTable, rs, sideFilter(rightDef.Schema, req.Filter), project),
+		left:  joinInputScan(cl, req.LeftTable, ls, windowed(sideFilter(leftDef.Schema, req.Filter), req.LeftWindow()), project),
+		right: joinInputScan(cl, req.RightTable, rs, windowed(sideFilter(rightDef.Schema, req.Filter), req.RightWindow()), project),
 		schema: ls.JoinResult(rs, req.JoinAttrs, "r_"),
 	}, nil
+}
+
+// windowed attaches a version window to a per-side filter (the engines do
+// the same from the request; here it keeps EXPLAIN's descriptive scans in
+// sync with what the engine will actually resolve).
+func windowed(f metadata.Range, w metadata.VersionWindow) metadata.Range {
+	f.Versions = w
+	return f
 }
 
 // sideFilter keeps the constraints naming attributes of one side's schema

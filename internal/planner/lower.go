@@ -27,6 +27,11 @@ type Lowered struct {
 	// Join is the plan's join node, if any; its Req may be adjusted
 	// (shared mode, prefetch, parallelism) before Exec.
 	Join *plan.JoinNode
+	// AsOf is the catalog version the statement was pinned to at lowering:
+	// chunk resolution everywhere in the plan sees exactly the dataset as
+	// of this version, so ingest committing between admission and execution
+	// never perturbs the result (snapshot isolation).
+	AsOf int64
 }
 
 // Lower parses one SELECT statement and lowers it to a plan.
@@ -51,13 +56,21 @@ func (ex *Executor) lowerSelect(s *query.Select) (*Lowered, error) {
 	}
 	needed := neededAttrs(star, plain, aggs, s)
 
-	l := &Lowered{}
+	// Pin the statement to the catalog version current at lowering. Every
+	// chunk resolution below — the join engines' side filters, the cost
+	// model's parameter derivation, the table scan's desc list — carries
+	// this pin, so a concurrent append batch is either entirely visible
+	// (committed before this line) or entirely invisible.
+	asOf := ex.Cluster.Catalog.Version()
+
+	l := &Lowered{AsOf: asOf}
 	var node plan.Node
 	if v, ok := ex.View(s.From); ok {
 		req, err := v.Request(s.Where, false)
 		if err != nil {
 			return nil, err
 		}
+		req.AsOf = asOf
 		req.Project = ex.pushdownFor(v, needed)
 		req.Trace = ex.Trace
 		eng, dec, err := ex.Planner.Choose(ex.Cluster, req)
@@ -74,7 +87,7 @@ func (ex *Executor) lowerSelect(s *query.Select) (*Lowered, error) {
 		l.Decision, l.Join = dec, jn
 		node = jn
 	} else {
-		sn, err := plan.NewScan(ex.Cluster, s.From, s.Where, needed)
+		sn, err := plan.NewScan(ex.Cluster, s.From, s.Where, needed, asOf)
 		if err != nil {
 			return nil, err
 		}

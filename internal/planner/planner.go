@@ -70,11 +70,15 @@ func (p *Planner) ParamsFor(cl *cluster.Cluster, req engine.Request) (costmodel.
 	if err != nil {
 		return costmodel.Params{}, err
 	}
-	leftDescs, err := cl.Catalog.ChunksInRange(req.LeftTable, filterFor(leftDef.Schema, req.Filter))
+	leftFilter := filterFor(leftDef.Schema, req.Filter)
+	leftFilter.Versions = req.LeftWindow()
+	rightFilter := filterFor(rightDef.Schema, req.Filter)
+	rightFilter.Versions = req.RightWindow()
+	leftDescs, err := cl.Catalog.ChunksInRange(req.LeftTable, leftFilter)
 	if err != nil {
 		return costmodel.Params{}, err
 	}
-	rightDescs, err := cl.Catalog.ChunksInRange(req.RightTable, filterFor(rightDef.Schema, req.Filter))
+	rightDescs, err := cl.Catalog.ChunksInRange(req.RightTable, rightFilter)
 	if err != nil {
 		return costmodel.Params{}, err
 	}

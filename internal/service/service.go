@@ -207,6 +207,13 @@ func New(cl *cluster.Cluster, cfg Config) *Service {
 // callers. The request is always run in shared mode; Result.Traffic and
 // Result.Cache therefore report cumulative cluster counters.
 func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
+	// Pin the query to the catalog version current at submission (unless
+	// the caller pinned one itself): planning and execution then resolve
+	// identical chunk sets even if an append batch commits in between, and
+	// the result reflects a consistent dataset snapshot.
+	if q.Req.AsOf == 0 {
+		q.Req.AsOf = s.cl.Catalog.Version()
+	}
 	eng, dec, err := s.pl.Choose(s.cl, q.Req)
 	if err != nil {
 		return nil, err

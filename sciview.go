@@ -3,10 +3,12 @@ package sciview
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"sciview/internal/cluster"
 	"sciview/internal/fault"
+	"sciview/internal/ingest"
 	"sciview/internal/metrics"
 	"sciview/internal/planner"
 	"sciview/internal/trace"
@@ -65,6 +67,12 @@ type ClusterSpec struct {
 type System struct {
 	cluster  *cluster.Cluster
 	executor *planner.Executor
+	dataset  *Dataset
+	metrics  *metrics.Registry
+
+	liveMu   sync.Mutex
+	watcher  *ingest.Watcher
+	ingestor *Ingestor
 }
 
 // NewSystem assembles a system over a dataset.
@@ -111,7 +119,7 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 	}
 	ex := planner.NewExecutor(cl)
 	ex.Metrics = spec.Metrics
-	return &System{cluster: cl, executor: ex}, nil
+	return &System{cluster: cl, executor: ex, dataset: ds, metrics: spec.Metrics}, nil
 }
 
 // Close releases the system's network resources (TCP mode only).

@@ -11,18 +11,24 @@
 # (nil) registry vs a live instrumented one, plus the instrument
 # microbenches, written to BENCH_pr5.json; the headline ratio
 # metrics_overhead_fraction must stay ≤ 0.03.
+# A fourth leg benchmarks living-dataset view maintenance on an
+# append-heavy workload (fold one committed time step into a materialized
+# join view): delta-join refresh vs full recompute, written to
+# BENCH_pr6.json with the headline delta_refresh_speedup_vs_full.
 #
-#   scripts/bench.sh [pr3-output.json] [pr4-output.json] [pr5-output.json]
+#   scripts/bench.sh [pr3-output.json] [pr4-output.json] [pr5-output.json] [pr6-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr3.json}"
 out4="${2:-BENCH_pr4.json}"
 out5="${3:-BENCH_pr5.json}"
+out6="${4:-BENCH_pr6.json}"
 raw="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
-trap 'rm -f "$raw" "$raw4" "$raw5"' EXIT
+raw6="$(mktemp)"
+trap 'rm -f "$raw" "$raw4" "$raw5" "$raw6"' EXIT
 
 echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
@@ -152,3 +158,34 @@ END {
 
 echo "== wrote $out5"
 cat "$out5"
+
+echo "== view maintenance (delta-join refresh vs full recompute per appended step)"
+go test -run '^$' -bench BenchmarkViewMaintenance -benchtime 5x \
+    ./internal/ingest/ | tee "$raw6"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", k, ns[k], (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    d = ns["BenchmarkViewMaintenance/delta"]
+    f = ns["BenchmarkViewMaintenance/full"]
+    if (d && f) {
+        printf "    \"delta_refresh_speedup_vs_full\": %.2f,\n", f / d
+        printf "    \"delta_refresh_wallclock_reduction\": %.3f\n", 1 - d / f
+    }
+    printf "  }\n}\n"
+}
+' "$raw6" > "$out6"
+
+echo "== wrote $out6"
+cat "$out6"

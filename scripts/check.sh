@@ -3,7 +3,9 @@
 # detector over the concurrency-sensitive packages (query service, cache +
 # singleflight, transport, cluster) and the root short-mode service bench,
 # the metrics stress test (/metrics scraped while concurrent queries run),
-# the differential harness, and a parser fuzz smoke.
+# the differential harness, the living-dataset ingest suite (snapshot
+# isolation, delta==full view maintenance, R-tree insert-during-query),
+# and parser + chunk-extractor fuzz smokes.
 # Mirrors `make check` for environments without make.
 set -eu
 
@@ -44,8 +46,16 @@ go test -race -count=1 -run TestMetricsScrapeDuringServiceBench .
 echo "== go test -race (differential harness: streaming==materialized, IJ==GH, faulted leg)"
 go test -race -count=1 -run TestDifferential ./internal/planner
 
+echo "== go test -race (living datasets: ingest, snapshot pins, delta==full, insert-during-query)"
+go test -race -count=1 ./internal/ingest
+go test -race -count=3 -run TestConcurrentAppendDuringQuery ./internal/metadata
+go test -race -count=1 -run TestLivingDataset .
+
 echo "== fuzz smoke (parser must never panic, 10s)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/query
+
+echo "== fuzz smoke (chunk extractors over the seeded RLE/ColMajor corpus, 10s)"
+go test -run '^$' -fuzz FuzzExtractors -fuzztime 10s ./internal/chunk
 
 echo "== bench smoke (kernels + codec, 100 iterations)"
 go test -run '^$' -bench . -benchtime 100x ./internal/hashjoin ./internal/tuple

@@ -59,6 +59,16 @@ type ServiceBenchSpec struct {
 	// view V1 (T1 ⋈ T2 on x, y, z), e.g.
 	// "SELECT * FROM V1 WHERE x < 8 LIMIT 64".
 	SQL string
+	// IngestSteps, when > 0, makes this an ingest-while-querying run: the
+	// dataset is generated with that many time-step slabs withheld, and an
+	// ingest goroutine commits them spread evenly across the measurement
+	// window while the clients query. The grid's Z axis grows by one slab
+	// (8 cells) per step so the base dataset the clients start on keeps
+	// its usual size. After every commit a pinned auditor re-submits the
+	// benchmark join pinned to the pre-ingest dataset version and verifies
+	// its cardinality never changes — the snapshot-isolation invariant
+	// under live load.
+	IngestSteps int
 	// MetricsAddr, when set, instruments the whole stack with a live
 	// metrics registry, serves it (Prometheus text format on /metrics,
 	// pprof on /debug/pprof/) at this address for the duration of the run,
@@ -83,6 +93,14 @@ type ServiceBenchResult struct {
 	Failed  int64
 	Refused int64
 	Stats   service.Stats
+	// Ingest-while-querying accounting (IngestSteps > 0): batches
+	// committed, the dataset version the run ended at, and the pinned
+	// auditor's checks/violations (a violation means a reader pinned to
+	// the pre-ingest version observed an appended batch — must be 0).
+	IngestAppends    int64
+	FinalVersion     int64
+	PinnedChecks     int64
+	PinnedViolations int64
 }
 
 // RunServiceBench generates a mid-size dataset, stands up the concurrent
@@ -106,14 +124,24 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 	if spec.Seed == 0 {
 		spec.Seed = 2006
 	}
-	ds, err := GenerateOilReservoir(OilReservoirSpec{
-		Grid:         Dims{X: 32, Y: 32, Z: 16},
+	dspec := OilReservoirSpec{
+		Grid:         Dims{X: 32, Y: 32, Z: 16 + 8*spec.IngestSteps},
 		LeftPart:     Dims{X: 8, Y: 8, Z: 8},
 		RightPart:    Dims{X: 8, Y: 8, Z: 8},
 		StorageNodes: spec.StorageNodes,
 		Seed:         spec.Seed,
 		Replicas:     spec.Replicas,
-	})
+	}
+	var (
+		ds      *Dataset
+		batches []*Batch
+		err     error
+	)
+	if spec.IngestSteps > 0 {
+		ds, batches, err = GenerateOilReservoirSteps(dspec, spec.IngestSteps)
+	} else {
+		ds, err = GenerateOilReservoir(dspec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -158,12 +186,33 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 			return nil, fmt.Errorf("sciview: -sql statement does not plan: %w", err)
 		}
 	}
+	// Ingest-while-querying: baseline the pinned auditor before anything
+	// can append — the version every later pinned submission re-reads at.
+	var (
+		ingestor   *Ingestor
+		pinned     service.Query
+		pinnedWant int64
+	)
+	if spec.IngestSteps > 0 {
+		if ingestor, err = sys.Ingestor(spec.Replicas); err != nil {
+			return nil, err
+		}
+		pinned = query
+		pinned.Req.AsOf = sys.DatasetVersion()
+		resp, err := svc.Submit(context.Background(), pinned)
+		if err != nil {
+			return nil, fmt.Errorf("sciview: pinned baseline query: %w", err)
+		}
+		pinnedWant = resp.Result.Tuples
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), spec.Duration)
 	defer cancel()
 
 	var mu sync.Mutex
 	var lats, waits []time.Duration
 	var failed, refused int64
+	var ingestAppends, pinnedChecks, pinnedViolations int64
 	var wg sync.WaitGroup
 	for c := 0; c < spec.Concurrency; c++ {
 		wg.Add(1)
@@ -203,15 +252,55 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 			}
 		}()
 	}
+	if spec.IngestSteps > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			interval := spec.Duration / time.Duration(len(batches)+1)
+			for _, b := range batches {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(interval):
+				}
+				if _, err := ingestor.Append(b); err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				ingestAppends++
+				mu.Unlock()
+				// The isolation audit: a reader pinned to the pre-ingest
+				// version must reproduce its baseline cardinality no matter
+				// how many batches have landed.
+				resp, err := svc.Submit(ctx, pinned)
+				if err != nil {
+					continue // window closing or admission refusal
+				}
+				mu.Lock()
+				pinnedChecks++
+				if resp.Result.Tuples != pinnedWant {
+					pinnedViolations++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
 	benchStart := time.Now()
 	wg.Wait()
 	elapsed := time.Since(benchStart)
 
 	res := &ServiceBenchResult{
-		Queries: int64(len(lats)),
-		Failed:  failed,
-		Refused: refused,
-		Stats:   svc.Stats(),
+		Queries:          int64(len(lats)),
+		Failed:           failed,
+		Refused:          refused,
+		Stats:            svc.Stats(),
+		IngestAppends:    ingestAppends,
+		FinalVersion:     sys.DatasetVersion(),
+		PinnedChecks:     pinnedChecks,
+		PinnedViolations: pinnedViolations,
 	}
 	if len(lats) > 0 {
 		res.Throughput = float64(len(lats)) / elapsed.Seconds()
@@ -259,6 +348,10 @@ func (r *ServiceBenchResult) Print(w io.Writer, spec ServiceBenchSpec) {
 	fmt.Fprintf(w, "  queue wait  mean %v\n", r.QueueMean.Round(time.Microsecond))
 	if r.Failed > 0 || r.Refused > 0 {
 		fmt.Fprintf(w, "  errors      %d failed, %d refused at admission\n", r.Failed, r.Refused)
+	}
+	if spec.IngestSteps > 0 {
+		fmt.Fprintf(w, "  ingest      %d batches committed mid-run (dataset version %d); pinned audits %d, violations %d\n",
+			r.IngestAppends, r.FinalVersion, r.PinnedChecks, r.PinnedViolations)
 	}
 	h := r.Stats.Health
 	if h.Retries+h.Failovers+h.BreakerTrips+h.Recoveries+h.Rebuilds > 0 {
