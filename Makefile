@@ -26,6 +26,8 @@ race:
 # where concurrent state transitions hide.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
+	$(GO) test -race -count=1 ./internal/repair
+	$(GO) test -race -count=1 -run TestCrashRestartConverge ./internal/chaos
 
 # Parser fuzz smoke: the grammar must reject, never panic. Seeds come
 # from the golden-test SQL corpus; 10s is the CI budget, run longer when

@@ -60,25 +60,30 @@ func main() {
 		sqlQuery    = flag.String("sql", "", "SQL SELECT each -concurrency client submits via the streaming plan layer (may use T1, T2 and view V1; empty = raw join request)")
 		ingestSteps = flag.Int("ingest-steps", 0, "commit this many time-step append batches spread across the -concurrency window, auditing snapshot isolation with a version-pinned reader")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (/metrics, /debug/pprof/) at this address during -concurrency runs and dump a snapshot in the report; empty disables instrumentation")
+
+		repairInterval = flag.Duration("repair-interval", 0, "run the self-healing repair tier during -concurrency runs, sweeping for under-replicated chunks and catching up restarted nodes at this period (0 disables)")
+		repairBw       = flag.Float64("repair-bw", 0, "repair copy-traffic bandwidth cap in bytes/s (0 = uncapped)")
 	)
 	flag.Parse()
 	if *concurrency > 0 {
 		if _, err := sciview.RunServiceBench(sciview.ServiceBenchSpec{
-			Concurrency:  *concurrency,
-			Duration:     *duration,
-			MaxInFlight:  *maxInFlight,
-			MemoryBudget: *memBudget,
-			StorageNodes: *storage,
-			ComputeNodes: *compute,
-			Engine:       *forceEngine,
-			Seed:         *seed,
-			Replicas:     *replicas,
-			Faults:       *faults,
-			Prefetch:     *prefetch,
-			Parallelism:  *parallelism,
-			SQL:          *sqlQuery,
-			IngestSteps:  *ingestSteps,
-			MetricsAddr:  *metricsAddr,
+			Concurrency:    *concurrency,
+			Duration:       *duration,
+			MaxInFlight:    *maxInFlight,
+			MemoryBudget:   *memBudget,
+			StorageNodes:   *storage,
+			ComputeNodes:   *compute,
+			Engine:         *forceEngine,
+			Seed:           *seed,
+			Replicas:       *replicas,
+			Faults:         *faults,
+			Prefetch:       *prefetch,
+			Parallelism:    *parallelism,
+			SQL:            *sqlQuery,
+			IngestSteps:    *ingestSteps,
+			MetricsAddr:    *metricsAddr,
+			RepairInterval: *repairInterval,
+			RepairBw:       *repairBw,
 		}, os.Stdout); err != nil {
 			log.Fatal(err)
 		}

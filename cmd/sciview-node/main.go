@@ -20,11 +20,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"sciview/internal/bds"
 	"sciview/internal/metadata"
 	"sciview/internal/metrics"
+	"sciview/internal/repair"
 	"sciview/internal/simio"
 	"sciview/internal/transport"
 	"sciview/internal/tuple"
@@ -34,13 +37,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sciview-node: ")
 	var (
-		data  = flag.String("data", "", "dataset directory (serve mode)")
-		node  = flag.Int("node", 0, "storage node id to serve")
-		addr  = flag.String("addr", "127.0.0.1:0", "listen address (serve) or target address (fetch)")
+		data        = flag.String("data", "", "dataset directory (serve mode)")
+		node        = flag.Int("node", 0, "storage node id to serve")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address (serve) or target address (fetch)")
 		fetch       = flag.Bool("fetch", false, "client mode: fetch one sub-table and print it")
 		table       = flag.Int("table", 0, "table id to fetch")
 		chunk       = flag.Int("chunk", 0, "chunk id to fetch")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
+		repairEvery = flag.Duration("repair-interval", 0, "periodically verify this node's store against the catalog's placements — the integrity check the repair tier's rejoin path runs; broken objects are logged and exported as a gauge (0 disables)")
 	)
 	flag.Parse()
 
@@ -88,6 +92,25 @@ func main() {
 	disk := simio.NewDisk(store, 0, 0)
 	svc := bds.New(*node, catalog, disk)
 
+	var brokenObjects atomic.Int64
+	if *repairEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*repairEvery)
+			defer ticker.Stop()
+			for range ticker.C {
+				broken := repair.VerifyStore(catalog, *node, store.Size)
+				prev := brokenObjects.Swap(int64(len(broken)))
+				switch {
+				case len(broken) > 0 && int64(len(broken)) != prev:
+					log.Printf("repair: %d objects missing or truncated (first: %q); a cluster repair tier would rebuild them from replicas", len(broken), broken[0])
+				case len(broken) == 0 && prev > 0:
+					log.Printf("repair: store verify clean again")
+				}
+			}
+		}()
+		fmt.Printf("repair: verifying store against catalog every %v\n", *repairEvery)
+	}
+
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()
 		transport.WireMetrics(reg)
@@ -97,6 +120,11 @@ func main() {
 		reg.GaugeFunc("sciview_bds_records_served", "Records this BDS has served.", func() float64 {
 			return float64(svc.Stats.RecordsServed.Load())
 		})
+		if *repairEvery > 0 {
+			reg.GaugeFunc("sciview_node_broken_objects", "Objects the periodic store verify found missing or truncated.", func() float64 {
+				return float64(brokenObjects.Load())
+			})
+		}
 		mcloser, maddr, err := metrics.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)

@@ -66,6 +66,8 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "default hash-join kernel workers for queries that leave it unset (0 = all CPUs, 1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
 		replaySteps = flag.Duration("replay-steps", 0, "replay the dataset's withheld time-step batches (<data>/steps/, from sciview-gen -timesteps) at this interval while serving; queries in flight stay pinned to their admission version (0 disables)")
+		repairEvery = flag.Duration("repair-interval", 0, "run the self-healing repair tier: catch up storage nodes revived by restart fault rules and re-replicate under-replicated chunks at this period (0 disables)")
+		repairBw    = flag.Float64("repair-bw", 0, "repair copy-traffic bandwidth cap in bytes/s (0 = uncapped)")
 		// Client mode.
 		query    = flag.Bool("query", false, "client mode: submit one query and print the outcome")
 		stats    = flag.Bool("stats", false, "client mode: print the server's service counters")
@@ -117,6 +119,20 @@ func main() {
 		Parallelism:  *parallelism,
 		Metrics:      reg,
 	})
+	if *repairEvery > 0 {
+		rep, err := sys.Repair(0, *repairEvery, *repairBw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Start()
+		defer rep.Stop()
+		svc.AttachRepair(rep)
+		fmt.Printf("repair: anti-entropy sweep every %v", *repairEvery)
+		if *repairBw > 0 {
+			fmt.Printf(", copy traffic capped at %.0f B/s", *repairBw)
+		}
+		fmt.Println()
+	}
 	if reg != nil {
 		mcloser, maddr, err := metrics.Serve(*metricsAddr, reg)
 		if err != nil {

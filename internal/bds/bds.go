@@ -62,9 +62,11 @@ func (s *Service) SubTableProjected(id tuple.ID, filter *metadata.Range, project
 	if err != nil {
 		return nil, fmt.Errorf("bds: node %d: %w", s.node, err)
 	}
-	// Serve from whichever copy this node holds: the primary placement or
-	// a replica written during dataset loading.
-	object, offset, ok := desc.Locate(s.node)
+	// Serve from whichever copy this node holds: the primary placement, a
+	// replica written during dataset loading, or one the repair tier laid
+	// down. Read through the catalog lock — repair commits placements
+	// concurrently with serving.
+	object, offset, ok := s.catalog.LocateOn(id.Table, id.Chunk, s.node)
 	if !ok {
 		return nil, fmt.Errorf("bds: chunk %v has no copy on node %d (primary is node %d)", id, s.node, desc.Node)
 	}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciview/internal/bds"
@@ -211,6 +212,10 @@ type Cluster struct {
 	// breakers holds one circuit breaker per storage node; the fetch path
 	// consults them before dialing and feeds outcomes back.
 	breakers []*breaker.Breaker
+	// states tracks each storage node's lifecycle (NodeUp / NodeDown /
+	// NodeRejoining). The repair manager owns transitions; fetch routing
+	// reads them to order replicas by availability.
+	states []atomic.Int32
 	// Health accumulates fault-tolerance counters (retries, failovers,
 	// engine recoveries); see HealthStats.
 	Health Health
@@ -239,6 +244,7 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		return nil, fmt.Errorf("cluster: %d stores for %d storage nodes", len(stores), cfg.StorageNodes)
 	}
 	cl := &Cluster{Config: cfg, Catalog: catalog}
+	cl.states = make([]atomic.Int32, cfg.StorageNodes)
 	// Registry methods are nil-safe: with cfg.Metrics == nil every handle
 	// below is a nil no-op instrument, so the hot paths stay uninstrumented
 	// at the cost of one predicted branch each.

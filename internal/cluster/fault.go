@@ -87,6 +87,63 @@ func (cl *Cluster) AliveCompute() []int {
 	return alive
 }
 
+// NodeState is a storage node's lifecycle state as tracked by the repair
+// tier. A node is born NodeUp; the repair manager marks it NodeDown when
+// the chaos schedule (or a real crash) takes it out, NodeRejoining while
+// catch-up replay runs, and NodeUp again once it has converged to the head
+// catalog version.
+type NodeState int32
+
+const (
+	NodeUp        NodeState = 0
+	NodeDown      NodeState = 1
+	NodeRejoining NodeState = 2
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDown:
+		return "down"
+	case NodeRejoining:
+		return "rejoining"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int32(s))
+	}
+}
+
+// StorageState returns storage node i's lifecycle state.
+func (cl *Cluster) StorageState(i int) NodeState {
+	if i < 0 || i >= len(cl.states) {
+		return NodeDown
+	}
+	return NodeState(cl.states[i].Load())
+}
+
+// SetStorageState records a lifecycle transition for storage node i. The
+// repair manager is the writer; routing reads.
+func (cl *Cluster) SetStorageState(i int, s NodeState) {
+	if i >= 0 && i < len(cl.states) {
+		cl.states[i].Store(int32(s))
+	}
+}
+
+// StorageAvailable reports whether storage node i should serve reads: its
+// lifecycle state is NodeUp and the chaos schedule does not currently hold
+// it down. A rejoining node is NOT available — its store may be behind the
+// catalog — but routing still tries non-available nodes last rather than
+// failing a fetch that a stale-but-complete replica could serve.
+func (cl *Cluster) StorageAvailable(i int) bool {
+	if i < 0 || i >= len(cl.states) {
+		return false
+	}
+	if NodeState(cl.states[i].Load()) != NodeUp {
+		return false
+	}
+	return !cl.Config.Faults.Down(fault.StorageNode(i))
+}
+
 // errBreakerOpen marks a replica skipped because its breaker refused the
 // call. It wraps ErrUnavailable so callers classify it as a transient
 // fault, but the retry loop treats it as final for that node — backing off
@@ -94,13 +151,39 @@ func (cl *Cluster) AliveCompute() []int {
 var errBreakerOpen = fmt.Errorf("cluster: breaker open: %w", transport.ErrUnavailable)
 
 // replicaFailover runs try against each node holding a copy of desc, in
-// replica order, until one succeeds. Per node it applies the retry policy
-// (with deterministic jitter keyed to the chunk and node), consults and
-// feeds the node's breaker, and counts ops against the chaos schedule.
-// It returns the sub-table and the node that served it.
+// replica order with available (NodeUp, not chaos-downed) nodes first,
+// until one succeeds. Nodes the repair tier knows to be down or rejoining
+// are still tried — last — as a correctness fallback: a stale lifecycle
+// view must never fail a fetch that a live replica could serve. Per node
+// it applies the retry policy (with deterministic jitter keyed to the
+// chunk and node), consults and feeds the node's breaker, and counts ops
+// against the chaos schedule. It returns the sub-table and the node that
+// served it.
 func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try func(node int) (*tuple.SubTable, error)) (*tuple.SubTable, int, error) {
-	nodes := desc.Nodes()
 	id := desc.ID()
+	// The placement list is read through the catalog lock: repair may be
+	// committing new replicas concurrently.
+	nodes, err := cl.Catalog.ChunkNodes(id.Table, id.Chunk)
+	if err != nil {
+		nodes = desc.Nodes() // not registered (tests): fall back to the descriptor
+	}
+	// Order by the repair tier's lifecycle view, not the injector's oracle
+	// state: a node nobody has detected as down is still tried (and its
+	// retries/breaker trips are how downness gets noticed).
+	if len(nodes) > 1 {
+		ordered := make([]int, 0, len(nodes))
+		for _, n := range nodes {
+			if cl.StorageState(n) == NodeUp {
+				ordered = append(ordered, n)
+			}
+		}
+		for _, n := range nodes {
+			if cl.StorageState(n) != NodeUp {
+				ordered = append(ordered, n)
+			}
+		}
+		nodes = ordered
+	}
 	var lastErr error
 	for i, node := range nodes {
 		if node < 0 || node >= len(cl.Storage) {

@@ -51,6 +51,14 @@ const (
 	Drop
 	// Delay stalls every Every-th matching operation by Delay.
 	Delay
+	// Restart takes the node down at the rule's After-th matching
+	// operation — exactly like Crash — and then brings it back up after
+	// DownFor further operations have been recorded by the injector
+	// (anywhere in the cluster, any node, any op). The revival is what a
+	// chaos schedule uses to exercise rejoin: the node's store is intact
+	// but it missed every append committed while it was dark, and the
+	// repair tier has to catch it up before routing trusts it again.
+	Restart
 )
 
 func (a Action) String() string {
@@ -61,6 +69,8 @@ func (a Action) String() string {
 		return "drop"
 	case Delay:
 		return "delay"
+	case Restart:
+		return "restart"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -71,13 +81,37 @@ type Rule struct {
 	Node   string // "storage-0", "compute-1", or "*"
 	Op     string // OpFetch, OpRead, ... or "*"
 	Action Action
-	// After fires a Crash when the rule's matched-operation count reaches
-	// this value (1-based).
+	// After fires a Crash or Restart when the rule's matched-operation
+	// count reaches this value (1-based).
 	After int64
 	// Every fires a Drop or Delay on every Every-th matched operation.
 	Every int64
 	// Delay is the injected stall of a Delay rule.
 	Delay time.Duration
+	// DownFor is a Restart rule's downtime, measured in operations the
+	// injector records cluster-wide after the crash (keeping revival as
+	// deterministic as the crash itself). 0 defaults to After.
+	DownFor int64
+}
+
+// String renders the rule in the -faults clause syntax accepted by Parse.
+func (r Rule) String() string {
+	switch r.Action {
+	case Crash:
+		return fmt.Sprintf("crash:%s:%s:%d", r.Node, r.Op, r.After)
+	case Drop:
+		return fmt.Sprintf("drop:%s:%s:%d", r.Node, r.Op, r.Every)
+	case Delay:
+		return fmt.Sprintf("delay:%s:%s:%d:%s", r.Node, r.Op, r.Every, r.Delay)
+	case Restart:
+		down := r.DownFor
+		if down == 0 {
+			down = r.After
+		}
+		return fmt.Sprintf("restart:%s:%s:%d:%d", r.Node, r.Op, r.After, down)
+	default:
+		return fmt.Sprintf("?:%s:%s", r.Node, r.Op)
+	}
 }
 
 func (r Rule) matches(node, op string) bool {
@@ -110,6 +144,8 @@ type Stats struct {
 	Drops   int64
 	Delays  int64
 	Crashes int64
+	// Restarts counts nodes brought back up by Restart rules.
+	Restarts int64
 }
 
 // Injector applies a fault schedule. All methods are safe for concurrent
@@ -120,24 +156,66 @@ type Injector struct {
 	rules  []Rule
 	counts []int64 // per-rule matched-operation counters
 	down   map[string]bool
-	stats  Stats
+	// pending maps a down-for-restart node to the number of cluster-wide
+	// operations remaining until it revives.
+	pending map[string]int64
+	stats   Stats
+
+	// onRestart (set via SetOnRestart) is invoked — outside the injector's
+	// lock — for every node a Restart rule brings back up, so the repair
+	// tier can begin catch-up without polling.
+	notifyMu  sync.Mutex
+	onRestart func(node string)
+}
+
+// SetOnRestart registers a callback invoked for every node revived by a
+// Restart rule. The callback runs outside the injector's lock (it may call
+// back into the injector) but must not block for long: it is called from
+// the I/O path that triggered the revival.
+func (in *Injector) SetOnRestart(fn func(node string)) {
+	if in == nil {
+		return
+	}
+	in.notifyMu.Lock()
+	in.onRestart = fn
+	in.notifyMu.Unlock()
 }
 
 // New returns an injector applying the given schedule.
 func New(rules ...Rule) *Injector {
 	return &Injector{
-		rules:  rules,
-		counts: make([]int64, len(rules)),
-		down:   make(map[string]bool),
+		rules:   rules,
+		counts:  make([]int64, len(rules)),
+		down:    make(map[string]bool),
+		pending: make(map[string]int64),
 	}
+}
+
+// Spec renders the schedule in the comma-separated clause syntax accepted
+// by Parse, so a schedule round-trips: Parse(in.Spec()) rebuilds an
+// equivalent injector. A no-op injector renders "".
+func (in *Injector) Spec() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	parts := make([]string, len(in.rules))
+	for i, r := range in.rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
 }
 
 // Parse builds an injector from a comma-separated schedule spec (the
 // -faults flag syntax). Clauses:
 //
-//	crash:<node>:<op>:<n>        node crashes at its n-th matching op
-//	drop:<node>:<op>:<n>         every n-th matching op fails (retryable)
-//	delay:<node>:<op>:<n>:<dur>  every n-th matching op stalls dur
+//	crash:<node>:<op>:<n>          node crashes at its n-th matching op
+//	drop:<node>:<op>:<n>           every n-th matching op fails (retryable)
+//	delay:<node>:<op>:<n>:<dur>    every n-th matching op stalls dur
+//	restart:<node>:<op>:<n>[:<m>]  node crashes at its n-th matching op and
+//	                               revives after m further cluster-wide
+//	                               operations (default m = n)
 //
 // <node> is storage-<i>, compute-<j> or *; <op> is fetch, read, write,
 // edge, call or *. An empty spec yields a no-op injector.
@@ -177,6 +255,18 @@ func Parse(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("fault: clause %q: %v", clause, err)
 			}
 			r.Action, r.Every, r.Delay = Delay, n, d
+		case "restart":
+			if len(f) != 4 && len(f) != 5 {
+				return nil, fmt.Errorf("fault: clause %q: restart takes 4 or 5 fields", clause)
+			}
+			r.Action, r.After, r.DownFor = Restart, n, n
+			if len(f) == 5 {
+				m, err := strconv.ParseInt(f[4], 10, 64)
+				if err != nil || m < 1 {
+					return nil, fmt.Errorf("fault: clause %q: bad downtime %q", clause, f[4])
+				}
+				r.DownFor = m
+			}
 		default:
 			return nil, fmt.Errorf("fault: clause %q: unknown kind %q", clause, f[0])
 		}
@@ -190,23 +280,55 @@ func Parse(spec string) (*Injector, error) {
 // error, or nil after any injected delay has elapsed. A nil injector
 // returns nil.
 func (in *Injector) Op(node, op string) error {
-	delay, err := in.apply(node, op)
+	delay, revived, err := in.apply(node, op)
+	in.notifyRestarts(revived)
 	if delay > 0 {
 		time.Sleep(delay)
 	}
 	return err
 }
 
-// apply is Op without the sleep: it returns the delay for the caller to
-// serve (the transport hook wants the delay before the exchange).
-func (in *Injector) apply(node, op string) (time.Duration, error) {
+// notifyRestarts delivers revival notifications outside the lock.
+func (in *Injector) notifyRestarts(revived []string) {
+	if len(revived) == 0 {
+		return
+	}
+	in.notifyMu.Lock()
+	fn := in.onRestart
+	in.notifyMu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, n := range revived {
+		fn(n)
+	}
+}
+
+// apply is Op without the sleep or notification: it returns the delay for
+// the caller to serve (the transport hook wants the delay before the
+// exchange) and the nodes this operation's restart clocks revived.
+func (in *Injector) apply(node, op string) (time.Duration, []string, error) {
 	if in == nil {
-		return 0, nil
+		return 0, nil, nil
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	// Every recorded operation — on any node — advances the restart
+	// clocks, so revival is as deterministic as the crash that armed it.
+	var revived []string
+	for n, left := range in.pending {
+		left--
+		if left <= 0 {
+			delete(in.pending, n)
+			delete(in.down, n)
+			in.stats.Restarts++
+			revived = append(revived, n)
+		} else {
+			in.pending[n] = left
+		}
+	}
 	if in.down[node] {
-		return 0, &NodeDownError{Node: node}
+		return 0, revived, &NodeDownError{Node: node}
 	}
 	var delay time.Duration
 	for i := range in.rules {
@@ -220,12 +342,25 @@ func (in *Injector) apply(node, op string) (time.Duration, error) {
 			if in.counts[i] >= r.After {
 				in.down[node] = true
 				in.stats.Crashes++
-				return delay, &NodeDownError{Node: node}
+				return delay, revived, &NodeDownError{Node: node}
+			}
+		case Restart:
+			// Exact equality: a restart fires once. Counts keep advancing
+			// after the revival, so the node does not immediately re-crash.
+			if in.counts[i] == r.After {
+				down := r.DownFor
+				if down == 0 {
+					down = r.After
+				}
+				in.down[node] = true
+				in.pending[node] = down
+				in.stats.Crashes++
+				return delay, revived, &NodeDownError{Node: node}
 			}
 		case Drop:
 			if r.Every > 0 && in.counts[i]%r.Every == 0 {
 				in.stats.Drops++
-				return delay, fmt.Errorf("fault: injected drop (%s/%s op %d): %w",
+				return delay, revived, fmt.Errorf("fault: injected drop (%s/%s op %d): %w",
 					node, op, in.counts[i], transport.ErrUnavailable)
 			}
 		case Delay:
@@ -235,7 +370,7 @@ func (in *Injector) apply(node, op string) (time.Duration, error) {
 			}
 		}
 	}
-	return delay, nil
+	return delay, revived, nil
 }
 
 // Down reports whether a node has crashed. A nil injector reports false.
@@ -306,7 +441,9 @@ func (in *Injector) Fault(service, method string) (time.Duration, error) {
 	if node == "" || in == nil {
 		return 0, nil
 	}
-	return in.apply(node, OpCall)
+	delay, revived, err := in.apply(node, OpCall)
+	in.notifyRestarts(revived)
+	return delay, err
 }
 
 // nodeOfService maps transport service names to injector node names.

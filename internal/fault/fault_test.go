@@ -171,3 +171,134 @@ func TestCrashDeterminism(t *testing.T) {
 		t.Fatalf("crash points %d and %d, want both 7", a, b)
 	}
 }
+
+func TestRestartRule(t *testing.T) {
+	in := New(Rule{Node: "storage-1", Op: OpFetch, Action: Restart, After: 3, DownFor: 4})
+	var revived []string
+	in.SetOnRestart(func(node string) { revived = append(revived, node) })
+
+	for i := 0; i < 2; i++ {
+		if err := in.Op("storage-1", OpFetch); err != nil {
+			t.Fatalf("op %d failed early: %v", i+1, err)
+		}
+	}
+	err := in.Op("storage-1", OpFetch)
+	if node, ok := IsNodeDown(err); !ok || node != "storage-1" {
+		t.Fatalf("op 3: err = %v, want NodeDownError{storage-1}", err)
+	}
+	if !in.Down("storage-1") {
+		t.Fatal("Down() = false after restart rule crashed the node")
+	}
+	// Downtime is measured in cluster-wide operations: 4 more ops anywhere
+	// revive the node. Ops addressed to the down node count too.
+	for i := 0; i < 3; i++ {
+		if err := in.Op("storage-0", OpRead); err != nil {
+			t.Fatalf("healthy node faulted: %v", err)
+		}
+		if !in.Down("storage-1") {
+			t.Fatalf("node revived after only %d of 4 ops", i+1)
+		}
+	}
+	if err := in.Op("storage-0", OpRead); err != nil {
+		t.Fatalf("healthy node faulted: %v", err)
+	}
+	if in.Down("storage-1") {
+		t.Fatal("node still down after DownFor ops elapsed")
+	}
+	if len(revived) != 1 || revived[0] != "storage-1" {
+		t.Fatalf("restart callback saw %v, want [storage-1]", revived)
+	}
+	// The revived node serves again and does NOT immediately re-crash:
+	// the rule fired at exactly After and never again.
+	for i := 0; i < 5; i++ {
+		if err := in.Op("storage-1", OpFetch); err != nil {
+			t.Fatalf("revived node faulted on op %d: %v", i+1, err)
+		}
+	}
+	s := in.Stats()
+	if s.Crashes != 1 || s.Restarts != 1 {
+		t.Fatalf("stats = %+v, want 1 crash / 1 restart", s)
+	}
+}
+
+func TestRestartDefaultDowntime(t *testing.T) {
+	// 4-field restart clause: DownFor defaults to After.
+	in, err := Parse("restart:storage-0:fetch:2")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in.Op("storage-0", OpFetch)
+	if err := in.Op("storage-0", OpFetch); err == nil {
+		t.Fatal("node not crashed at op 2")
+	}
+	in.Op("storage-1", OpFetch)
+	if !in.Down("storage-0") {
+		t.Fatal("revived after 1 op, want downtime 2")
+	}
+	in.Op("storage-1", OpFetch)
+	if in.Down("storage-0") {
+		t.Fatal("still down after default downtime elapsed")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	// Every rule kind survives Spec() -> Parse() -> Spec().
+	specs := []string{
+		"crash:storage-1:fetch:5",
+		"drop:*:call:7",
+		"delay:compute-0:write:2:3ms",
+		"restart:storage-2:fetch:10:25",
+		"crash:storage-0:read:1,drop:storage-1:fetch:3,restart:*:call:4:4",
+	}
+	for _, spec := range specs {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		got := in.Spec()
+		in2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", got, err)
+		}
+		if got2 := in2.Spec(); got2 != got {
+			t.Fatalf("Spec not stable: %q -> %q -> %q", spec, got, got2)
+		}
+		if len(in2.rules) != len(in.rules) {
+			t.Fatalf("%q: re-parse lost rules (%d vs %d)", spec, len(in2.rules), len(in.rules))
+		}
+		for i := range in.rules {
+			if in2.rules[i] != in.rules[i] {
+				t.Fatalf("%q rule %d: %+v != %+v", spec, i, in2.rules[i], in.rules[i])
+			}
+		}
+	}
+	// A 4-field restart renders with its defaulted downtime made explicit.
+	in, err := Parse("restart:storage-0:fetch:6")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got, want := in.Spec(), "restart:storage-0:fetch:6:6"; got != want {
+		t.Fatalf("Spec() = %q, want %q", got, want)
+	}
+	if (*Injector)(nil).Spec() != "" {
+		t.Fatal("nil injector Spec() != \"\"")
+	}
+}
+
+func TestParseRestartErrors(t *testing.T) {
+	for _, bad := range []string{
+		"restart:storage-0:fetch",       // too few fields
+		"restart:storage-0:fetch:0",     // zero count
+		"restart:storage-0:fetch:-2",    // negative count
+		"restart:storage-0:fetch:3:0",   // zero downtime
+		"restart:storage-0:fetch:3:x",   // non-numeric downtime
+		"restart:storage-0:fetch:3:4:5", // too many fields
+		"crash:storage-0:fetch:3:4",     // crash with restart's arity
+		"drop:storage-0:fetch:3:4",      // drop with restart's arity
+		"delay:storage-0:write:2:3ms:9", // delay with extra field
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -29,6 +29,13 @@ type Config struct {
 	// (sciview_ingest_appends_total, sciview_ingest_chunks_total) and the
 	// sciview_ingest_version gauge. Nil keeps the hot path on no-ops.
 	Metrics *metrics.Registry
+	// Avoid, when set, vetoes placement nodes: a batch chunk whose
+	// requested primary node is vetoed (down or rejoining) is redirected to
+	// the next non-vetoed node, and replication skips vetoed nodes. The
+	// batch then commits under-replicated and the repair tier's catch-up /
+	// anti-entropy passes restore the replication factor when nodes return.
+	// An append fails only if every node is vetoed.
+	Avoid func(node int) bool
 }
 
 // Ingestor is the chunk-append path of a living dataset. Append is safe
@@ -97,12 +104,16 @@ func (in *Ingestor) Append(b *Batch) (int64, error) {
 		if c.Node < 0 || c.Node >= len(in.cfg.Stores) {
 			return 0, fmt.Errorf("ingest: batch %d chunk %d: no storage node %d", b.Step, i, c.Node)
 		}
-		obj := object(c.Table, c.Node)
-		off, err := in.cfg.Stores[c.Node].Size(obj)
+		node, err := in.placement(c.Node)
+		if err != nil {
+			return 0, fmt.Errorf("ingest: batch %d chunk %d: %w", b.Step, i, err)
+		}
+		obj := object(c.Table, node)
+		off, err := in.cfg.Stores[node].Size(obj)
 		if err != nil {
 			off = 0 // object not created yet
 		}
-		if err := in.cfg.Stores[c.Node].Append(obj, c.Data); err != nil {
+		if err := in.cfg.Stores[node].Append(obj, c.Data); err != nil {
 			return 0, fmt.Errorf("ingest: batch %d chunk %d: %w", b.Step, i, err)
 		}
 		descs[i] = &chunk.Desc{
@@ -110,7 +121,7 @@ func (in *Ingestor) Append(b *Batch) (int64, error) {
 			Object: obj,
 			Offset: off,
 			Size:   int64(len(c.Data)),
-			Node:   c.Node,
+			Node:   node,
 			Format: c.Format,
 			Attrs:  def.Schema.Attrs,
 			Rows:   c.Rows,
@@ -126,14 +137,31 @@ func (in *Ingestor) Append(b *Batch) (int64, error) {
 	in.chunks.Add(int64(len(descs)))
 
 	// Replication is post-commit: replicas are failover copies, and the
-	// primary placement is already fetchable.
-	if err := oilres.ReplicateDescs(in.cfg.Catalog, in.cfg.Stores, descs, in.cfg.Replicas); err != nil {
+	// primary placement is already fetchable. Down nodes get no copies —
+	// anti-entropy lays them later.
+	if err := oilres.ReplicateDescsAvoid(in.cfg.Catalog, in.cfg.Stores, descs, in.cfg.Replicas, in.cfg.Avoid); err != nil {
 		return version, err
 	}
 	if in.cfg.Watcher != nil {
 		in.cfg.Watcher.Commit(version, descs)
 	}
 	return version, nil
+}
+
+// placement resolves a batch chunk's requested primary node against the
+// Avoid veto, scanning forward to the next permitted node.
+func (in *Ingestor) placement(want int) (int, error) {
+	if in.cfg.Avoid == nil || !in.cfg.Avoid(want) {
+		return want, nil
+	}
+	n := len(in.cfg.Stores)
+	for offset := 1; offset < n; offset++ {
+		node := (want + offset) % n
+		if !in.cfg.Avoid(node) {
+			return node, nil
+		}
+	}
+	return 0, fmt.Errorf("ingest: every storage node is down or rejoining")
 }
 
 // Version returns the catalog's current dataset version.

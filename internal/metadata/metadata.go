@@ -7,6 +7,7 @@ package metadata
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -169,10 +170,16 @@ func (c *Catalog) AppendVersion(descs []*chunk.Desc) (int64, error) {
 	return c.version, nil
 }
 
+// ErrAlreadyPlaced reports an AddReplica for a node that already holds a
+// copy of the chunk. Idempotent repair retries match it with errors.Is to
+// distinguish "already converged" from a real failure.
+var ErrAlreadyPlaced = errors.New("metadata: chunk already placed on node")
+
 // AddReplica records an extra placement of chunk (tableID, chunkID). The
-// replica's bytes are the caller's responsibility (dataset loading writes
-// them); the catalog only tracks where copies live so fetches can fail
-// over.
+// replica's bytes are the caller's responsibility and MUST be durable in
+// the node's store before the call — the instant the placement commits,
+// fetch routing may read it. The catalog only tracks where copies live so
+// fetches can fail over and repair can converge.
 func (c *Catalog) AddReplica(tableID, chunkID int32, r chunk.Replica) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -182,10 +189,96 @@ func (c *Catalog) AddReplica(tableID, chunkID int32, r chunk.Replica) error {
 	}
 	d := list[chunkID]
 	if _, _, ok := d.Locate(r.Node); ok {
-		return fmt.Errorf("metadata: chunk (%d,%d) already placed on node %d", tableID, chunkID, r.Node)
+		return fmt.Errorf("metadata: chunk (%d,%d) on node %d: %w", tableID, chunkID, r.Node, ErrAlreadyPlaced)
 	}
-	d.Replicas = append(d.Replicas, r)
+	// Copy-on-write: concurrent readers hold slices returned before this
+	// commit; never grow the shared backing array in place.
+	reps := make([]chunk.Replica, len(d.Replicas), len(d.Replicas)+1)
+	copy(reps, d.Replicas)
+	d.Replicas = append(reps, r)
 	return nil
+}
+
+// RemoveReplica drops the replica placement of chunk (tableID, chunkID) on
+// the given node — the repair path's way of retiring a placement whose
+// bytes were lost with a node's disk, so routing stops trying it and
+// re-replication can lay a fresh copy. The primary placement cannot be
+// removed (promote-by-rebuild instead: repair rewrites the primary object
+// in place from surviving replicas).
+func (c *Catalog) RemoveReplica(tableID, chunkID int32, node int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := c.chunks[tableID]
+	if chunkID < 0 || int(chunkID) >= len(list) {
+		return fmt.Errorf("metadata: no chunk (%d,%d)", tableID, chunkID)
+	}
+	d := list[chunkID]
+	if node == d.Node {
+		return fmt.Errorf("metadata: chunk (%d,%d): cannot remove primary placement on node %d", tableID, chunkID, node)
+	}
+	for i, r := range d.Replicas {
+		if r.Node == node {
+			reps := make([]chunk.Replica, 0, len(d.Replicas)-1)
+			reps = append(reps, d.Replicas[:i]...)
+			d.Replicas = append(reps, d.Replicas[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("metadata: chunk (%d,%d) has no replica on node %d", tableID, chunkID, node)
+}
+
+// ChunkNodes returns every storage node holding a copy of chunk
+// (tableID, chunkID), primary first, replicas in registration order — the
+// lock-consistent form of Desc.Nodes that fetch routing and repair use
+// while AddReplica may be committing concurrently.
+func (c *Catalog) ChunkNodes(tableID, chunkID int32) ([]int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	list := c.chunks[tableID]
+	if chunkID < 0 || int(chunkID) >= len(list) {
+		return nil, fmt.Errorf("metadata: no chunk (%d,%d)", tableID, chunkID)
+	}
+	return list[chunkID].Nodes(), nil
+}
+
+// LocateOn returns the object and offset of the chunk's copy on the given
+// node (lock-consistent form of Desc.Locate). ok is false when that node
+// holds no copy.
+func (c *Catalog) LocateOn(tableID, chunkID int32, node int) (object string, offset int64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	list := c.chunks[tableID]
+	if chunkID < 0 || int(chunkID) >= len(list) {
+		return "", 0, false
+	}
+	return list[chunkID].Locate(node)
+}
+
+// ChunksSince returns the descriptors of every chunk (all tables) whose
+// commit version is strictly greater than since, in (table, chunk) order —
+// the version-history diff a returning storage node replays to find the
+// append batches it missed. since = 0 returns everything.
+func (c *Catalog) ChunksSince(since int64) []*chunk.Desc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var ids []int32
+	for id := range c.chunks {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var out []*chunk.Desc
+	for _, id := range ids {
+		for _, d := range c.chunks[id] {
+			if d.Version > since {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
 }
 
 // coordBox projects a full-schema bounding box onto the coordinate
@@ -378,6 +471,29 @@ func (c *Catalog) Load(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("metadata: decoding catalog: %w", err)
 	}
+	// Images saved before catalogs were versioned carry Version 0 and
+	// descriptors stamped 0: normalize both to version 1 so visibility
+	// arithmetic (Since < v <= Until) treats them as initially loaded.
+	version := snap.Version
+	if version < 1 {
+		version = 1
+	}
+	// Corruption guard (before installing anything, so a rejected image
+	// leaves the catalog untouched): a chunk claiming a commit version
+	// beyond the snapshot's committed version describes an append the
+	// snapshot never saw. Silently raising the catalog version to cover it
+	// would launder a torn or tampered image into a "newer" dataset.
+	for _, descs := range snap.Chunks {
+		for _, d := range descs {
+			if d.Version < 1 {
+				d.Version = 1
+			}
+			if d.Version > version {
+				return fmt.Errorf("metadata: corrupt catalog image: chunk (%d,%d) at version %d exceeds committed version %d",
+					d.Table, d.Chunk, d.Version, version)
+			}
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byName = make(map[string]*TableDef, len(snap.Tables))
@@ -388,23 +504,7 @@ func (c *Catalog) Load(r io.Reader) error {
 	}
 	c.trees = make(map[int32]*rtree.Tree, len(snap.Tables))
 	c.nextTable = snap.NextTable
-	// Images saved before catalogs were versioned carry Version 0 and
-	// descriptors stamped 0: normalize both to version 1 so visibility
-	// arithmetic (Since < v <= Until) treats them as initially loaded.
-	c.version = snap.Version
-	if c.version < 1 {
-		c.version = 1
-	}
-	for _, descs := range c.chunks {
-		for _, d := range descs {
-			if d.Version < 1 {
-				d.Version = 1
-			}
-			if d.Version > c.version {
-				c.version = d.Version
-			}
-		}
-	}
+	c.version = version
 	for i := range snap.Tables {
 		def := snap.Tables[i]
 		c.byName[def.Name] = &def

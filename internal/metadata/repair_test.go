@@ -1,0 +1,186 @@
+package metadata
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"sciview/internal/chunk"
+)
+
+func TestAddReplicaAlreadyPlaced(t *testing.T) {
+	c, id := addGridChunks(t, 1, 1, 2)
+
+	// First placement on a new node commits.
+	if err := c.AddReplica(id, 0, chunk.Replica{Node: 2, Object: "rep/data"}); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	nodes, err := c.ChunkNodes(id, 0)
+	if err != nil || len(nodes) != 2 || nodes[1] != 2 {
+		t.Fatalf("ChunkNodes = %v, %v; want [primary 2]", nodes, err)
+	}
+
+	// Repeating it is the idempotent-converged case: ErrAlreadyPlaced.
+	err = c.AddReplica(id, 0, chunk.Replica{Node: 2, Object: "rep/data2"})
+	if !errors.Is(err, ErrAlreadyPlaced) {
+		t.Fatalf("duplicate AddReplica: err = %v, want ErrAlreadyPlaced", err)
+	}
+	// Placing on the primary's own node is also already-placed.
+	d, _ := c.Chunk(id, 0)
+	err = c.AddReplica(id, 0, chunk.Replica{Node: d.Node, Object: "rep/data"})
+	if !errors.Is(err, ErrAlreadyPlaced) {
+		t.Fatalf("primary-node AddReplica: err = %v, want ErrAlreadyPlaced", err)
+	}
+	// A real failure (no such chunk) is NOT ErrAlreadyPlaced.
+	err = c.AddReplica(id, 99, chunk.Replica{Node: 3})
+	if err == nil || errors.Is(err, ErrAlreadyPlaced) {
+		t.Fatalf("bad chunk id: err = %v, want a non-sentinel error", err)
+	}
+	// No duplicate snuck in.
+	if nodes, _ := c.ChunkNodes(id, 0); len(nodes) != 2 {
+		t.Fatalf("nodes after duplicate attempts = %v", nodes)
+	}
+}
+
+func TestRemoveReplica(t *testing.T) {
+	c, id := addGridChunks(t, 1, 1, 1)
+	if err := c.AddReplica(id, 0, chunk.Replica{Node: 1, Object: "rep/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReplica(id, 0, chunk.Replica{Node: 2, Object: "rep/b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveReplica(id, 0, 1); err != nil {
+		t.Fatalf("RemoveReplica: %v", err)
+	}
+	nodes, _ := c.ChunkNodes(id, 0)
+	if len(nodes) != 2 || nodes[1] != 2 {
+		t.Fatalf("nodes after removal = %v, want [primary 2]", nodes)
+	}
+	// Removing again: no such replica.
+	if err := c.RemoveReplica(id, 0, 1); err == nil {
+		t.Fatal("second RemoveReplica succeeded")
+	}
+	// The primary placement is not removable.
+	d, _ := c.Chunk(id, 0)
+	if err := c.RemoveReplica(id, 0, d.Node); err == nil {
+		t.Fatal("RemoveReplica accepted the primary placement")
+	}
+	// After removal the node can be re-placed (repair lays a fresh copy).
+	if err := c.AddReplica(id, 0, chunk.Replica{Node: 1, Object: "repair/a"}); err != nil {
+		t.Fatalf("re-AddReplica after removal: %v", err)
+	}
+	if obj, _, ok := c.LocateOn(id, 0, 1); !ok || obj != "repair/a" {
+		t.Fatalf("LocateOn(1) = %q,%v after re-place", obj, ok)
+	}
+}
+
+func TestLocateOn(t *testing.T) {
+	c, id := addGridChunks(t, 1, 1, 1)
+	d, _ := c.Chunk(id, 0)
+	obj, off, ok := c.LocateOn(id, 0, d.Node)
+	if !ok || obj != d.Object || off != d.Offset {
+		t.Fatalf("LocateOn(primary) = %q,%d,%v", obj, off, ok)
+	}
+	if _, _, ok := c.LocateOn(id, 0, 7); ok {
+		t.Fatal("LocateOn found a copy on a node that holds none")
+	}
+	if _, _, ok := c.LocateOn(id, 42, 0); ok {
+		t.Fatal("LocateOn found a copy of a chunk that does not exist")
+	}
+}
+
+func TestChunksSince(t *testing.T) {
+	c, id := addGridChunks(t, 1, 1, 2) // 2 chunks at version 1
+	mk := func() *chunk.Desc {
+		base, _ := c.Chunk(id, 0)
+		d := *base
+		d.Replicas = nil
+		return &d
+	}
+	v2, err := c.AppendVersion([]*chunk.Desc{mk()})
+	if err != nil || v2 != 2 {
+		t.Fatalf("AppendVersion: v=%d err=%v", v2, err)
+	}
+	v3, err := c.AppendVersion([]*chunk.Desc{mk(), mk()})
+	if err != nil || v3 != 3 {
+		t.Fatalf("AppendVersion: v=%d err=%v", v3, err)
+	}
+
+	if got := c.ChunksSince(0); len(got) != 5 {
+		t.Fatalf("ChunksSince(0) = %d descs, want all 5", len(got))
+	}
+	got := c.ChunksSince(1)
+	if len(got) != 3 {
+		t.Fatalf("ChunksSince(1) = %d descs, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if prev.Table > cur.Table || (prev.Table == cur.Table && prev.Chunk >= cur.Chunk) {
+			t.Fatalf("ChunksSince out of (table,chunk) order at %d: %v then %v", i, prev.ID(), cur.ID())
+		}
+	}
+	if got := c.ChunksSince(2); len(got) != 2 {
+		t.Fatalf("ChunksSince(2) = %d descs, want 2", len(got))
+	}
+	if got := c.ChunksSince(3); len(got) != 0 {
+		t.Fatalf("ChunksSince(head) = %d descs, want 0", len(got))
+	}
+}
+
+func TestLoadRejectsFutureChunkVersion(t *testing.T) {
+	c, id := addGridChunks(t, 1, 1, 2)
+	// Corrupt the image: stamp one chunk beyond the committed version.
+	d, _ := c.Chunk(id, 1)
+	d.Version = c.Version() + 5
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCatalog()
+	if _, err := fresh.CreateTable("KEEP", schema3d()); err != nil {
+		t.Fatal(err)
+	}
+	err := fresh.Load(&buf)
+	if err == nil {
+		t.Fatal("Load accepted a chunk version beyond the committed version")
+	}
+	if !strings.Contains(err.Error(), "corrupt catalog image") {
+		t.Fatalf("Load error = %v, want corruption diagnosis", err)
+	}
+	// The rejected image must not have partially replaced the catalog.
+	if _, err := fresh.Table("KEEP"); err != nil {
+		t.Fatalf("rejected Load mutated the catalog: %v", err)
+	}
+	if v := fresh.Version(); v != 1 {
+		t.Fatalf("rejected Load moved version to %d", v)
+	}
+}
+
+func TestLoadNormalizesLegacyVersions(t *testing.T) {
+	// Images saved before versioning carry Version 0 everywhere: Load
+	// normalizes both catalog and chunk versions to 1 (and that is not the
+	// corruption case).
+	c, id := addGridChunks(t, 1, 1, 1)
+	c.mu.Lock()
+	c.version = 0
+	c.chunks[id][0].Version = 0
+	c.mu.Unlock()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCatalog()
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatalf("Load(legacy image): %v", err)
+	}
+	if v := fresh.Version(); v != 1 {
+		t.Fatalf("legacy catalog version = %d, want 1", v)
+	}
+	d, err := fresh.Chunk(id, 0)
+	if err != nil || d.Version != 1 {
+		t.Fatalf("legacy chunk version = %d (%v), want 1", d.Version, err)
+	}
+}

@@ -1,6 +1,7 @@
 package oilres
 
 import (
+	"errors"
 	"fmt"
 
 	"sciview/internal/chunk"
@@ -30,6 +31,18 @@ func Replicate(cat *metadata.Catalog, stores []simio.Store, copies int) error {
 // Replicate. The append-ingest path uses it to replicate only a batch's new
 // chunks instead of re-walking the whole catalog.
 func ReplicateDescs(cat *metadata.Catalog, stores []simio.Store, descs []*chunk.Desc, copies int) error {
+	return ReplicateDescsAvoid(cat, stores, descs, copies, nil)
+}
+
+// ReplicateDescsAvoid is ReplicateDescs with a placement veto: nodes for
+// which avoid returns true receive no new copies (they are down or
+// rejoining). A chunk that cannot reach `copies` placements on non-avoided
+// nodes is left under-replicated rather than failing the batch — the
+// anti-entropy sweep restores the replication factor once nodes return.
+// Placement state is read and committed through the catalog lock, and a
+// concurrent commit of the same placement (ErrAlreadyPlaced) counts as
+// converged, so repair and ingest replication can overlap safely.
+func ReplicateDescsAvoid(cat *metadata.Catalog, stores []simio.Store, descs []*chunk.Desc, copies int, avoid func(node int) bool) error {
 	n := len(stores)
 	if copies > n {
 		copies = n
@@ -38,15 +51,28 @@ func ReplicateDescs(cat *metadata.Catalog, stores []simio.Store, descs []*chunk.
 		return nil
 	}
 	for _, d := range descs {
-		data, err := stores[d.Node].ReadRange(d.Object, d.Offset, d.Size)
+		placed, err := cat.ChunkNodes(d.Table, d.Chunk)
 		if err != nil {
 			return fmt.Errorf("oilres: replicating chunk %v: %w", d.ID(), err)
 		}
-		node := d.Node
-		for len(d.Nodes()) < copies {
-			node = (node + 1) % n
-			if _, _, ok := d.Locate(node); ok {
+		have := len(placed)
+		if have >= copies {
+			continue
+		}
+		var data []byte // read lazily: only chunks actually copied pay the read
+		for offset := 1; offset < n && have < copies; offset++ {
+			node := (d.Node + offset) % n
+			if avoid != nil && avoid(node) {
 				continue
+			}
+			if _, _, ok := cat.LocateOn(d.Table, d.Chunk, node); ok {
+				continue
+			}
+			if data == nil {
+				data, err = stores[d.Node].ReadRange(d.Object, d.Offset, d.Size)
+				if err != nil {
+					return fmt.Errorf("oilres: replicating chunk %v: %w", d.ID(), err)
+				}
 			}
 			obj := "rep/" + d.Object
 			off, err := stores[node].Size(obj)
@@ -56,9 +82,11 @@ func ReplicateDescs(cat *metadata.Catalog, stores []simio.Store, descs []*chunk.
 			if err := stores[node].Append(obj, data); err != nil {
 				return fmt.Errorf("oilres: replicating chunk %v to node %d: %w", d.ID(), node, err)
 			}
-			if err := cat.AddReplica(d.Table, d.Chunk, chunk.Replica{Node: node, Object: obj, Offset: off}); err != nil {
+			err = cat.AddReplica(d.Table, d.Chunk, chunk.Replica{Node: node, Object: obj, Offset: off})
+			if err != nil && !errors.Is(err, metadata.ErrAlreadyPlaced) {
 				return err
 			}
+			have++
 		}
 	}
 	return nil

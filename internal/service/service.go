@@ -31,6 +31,7 @@ import (
 	"sciview/internal/engine"
 	"sciview/internal/metrics"
 	"sciview/internal/planner"
+	"sciview/internal/repair"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
 )
@@ -128,6 +129,11 @@ type Stats struct {
 	// Health is the cluster's cumulative fault-tolerance accounting
 	// (retries, failovers, breaker trips, recoveries, rebuilds).
 	Health cluster.HealthStats
+
+	// Repair is the storage tier's self-healing accounting (catch-up
+	// replays, re-replicated chunks, under-replication exposure, per-node
+	// lifecycle and version lag). Zero when no repair manager is attached.
+	Repair repair.Stats
 }
 
 // Service is a running concurrent query service over one cluster.
@@ -135,6 +141,7 @@ type Service struct {
 	cl  *cluster.Cluster
 	pl  *planner.Planner
 	cfg Config
+	rep *repair.Manager // optional; set via AttachRepair
 
 	mu       sync.Mutex
 	drained  *sync.Cond // signaled when inflight drops to zero
@@ -462,14 +469,27 @@ func healthActivity(h cluster.HealthStats) int64 {
 	return h.Retries + h.Failovers + h.Recoveries + h.Rebuilds
 }
 
+// AttachRepair surfaces a repair manager's accounting through the
+// service's stats (and stats RPC). The manager's lifecycle stays with the
+// caller — attach does not Start or Stop it.
+func (s *Service) AttachRepair(m *repair.Manager) {
+	s.mu.Lock()
+	s.rep = m
+	s.mu.Unlock()
+}
+
 // Stats snapshots the service counters, including the cluster's fetch
 // deduplication and fault-recovery totals.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	rep := s.rep
 	s.mu.Unlock()
 	st.Dedup = s.cl.FlightStats()
 	st.Health = s.cl.HealthStats()
+	if rep != nil {
+		st.Repair = rep.Stats()
+	}
 	return st
 }
 
@@ -524,6 +544,12 @@ func (st Stats) String() string {
 		s += fmt.Sprintf(" | health: %d retries %d failovers %d trips %d recoveries %d rebuilds, %d queries recovered",
 			st.Health.Retries, st.Health.Failovers, st.Health.BreakerTrips,
 			st.Health.Recoveries, st.Health.Rebuilds, st.Recovered)
+	}
+	if !st.Repair.Zero() {
+		s += fmt.Sprintf(" | repair: %d catchups %d chunks %d bytes %d rebuilds %d underreplicated, nodes %v behind %v",
+			st.Repair.CatchUps, st.Repair.ChunksRepaired, st.Repair.BytesRepaired,
+			st.Repair.ObjectsRebuilt, st.Repair.UnderReplicated,
+			st.Repair.NodeStates, st.Repair.VersionsBehind)
 	}
 	return s
 }

@@ -11,6 +11,7 @@ import (
 	"sciview/internal/ingest"
 	"sciview/internal/metrics"
 	"sciview/internal/planner"
+	"sciview/internal/repair"
 	"sciview/internal/trace"
 )
 
@@ -124,6 +125,23 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 
 // Close releases the system's network resources (TCP mode only).
 func (s *System) Close() error { return s.cluster.Close() }
+
+// Repair builds (without starting) a self-healing repair manager over the
+// system's cluster: node lifecycle tracking, catch-up replay for returning
+// storage nodes, and periodic anti-entropy re-replication. replicas = 0
+// infers the replication factor from the catalog; interval = 0 uses the
+// default sweep period; bandwidth caps repair traffic in bytes/second
+// (0 = uncapped). Call Start on the returned manager, Stop when done, and
+// service.AttachRepair to surface its stats.
+func (s *System) Repair(replicas int, interval time.Duration, bandwidth float64) (*repair.Manager, error) {
+	return repair.New(repair.Config{
+		Cluster:   s.cluster,
+		Replicas:  replicas,
+		Interval:  interval,
+		Bandwidth: bandwidth,
+		Metrics:   s.metrics,
+	})
+}
 
 // Cluster exposes the underlying emulated cluster, so in-module tools can
 // layer additional services (e.g. the concurrent query service) over a

@@ -29,6 +29,10 @@ go test -race -short -count=1 -run TestServiceBenchShort .
 echo "== go test -race (chaos matrix: fault/retry/breaker + drop/delay/crash x IJ/GH)"
 go test -race -count=1 ./internal/chaos ./internal/fault ./internal/retry ./internal/breaker
 
+echo "== go test -race (self-healing: repair manager unit suite + crash-restart-converge)"
+go test -race -count=1 ./internal/repair
+go test -race -count=1 -run TestCrashRestartConverge ./internal/chaos
+
 echo "== go test -race (streaming plan goldens: streaming == materialized, incl. chaos + views races)"
 go test -race -count=1 ./internal/plan
 go test -race -count=1 -run 'TestGolden|TestConcurrentView|TestExplain' ./internal/planner

@@ -75,6 +75,13 @@ type ServiceBenchSpec struct {
 	// and appends a registry snapshot to the report. ":0" picks a free
 	// port. Empty disables instrumentation entirely.
 	MetricsAddr string
+	// RepairInterval, when > 0, runs the self-healing repair tier for the
+	// duration of the run: node lifecycle tracking, catch-up replay for
+	// storage nodes revived by a restart fault rule, and anti-entropy
+	// re-replication sweeps at this period. Its counters join the report.
+	RepairInterval time.Duration
+	// RepairBw caps repair copy traffic in bytes/second (0 = uncapped).
+	RepairBw float64
 }
 
 // ServiceBenchResult reports one benchmark run.
@@ -161,6 +168,15 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 		Metrics:      reg,
 	})
 	defer svc.Close()
+	if spec.RepairInterval > 0 {
+		rep, err := sys.Repair(spec.Replicas, spec.RepairInterval, spec.RepairBw)
+		if err != nil {
+			return nil, err
+		}
+		rep.Start()
+		defer rep.Stop()
+		svc.AttachRepair(rep)
+	}
 	if reg != nil {
 		closer, addr, err := metrics.Serve(spec.MetricsAddr, reg)
 		if err != nil {
@@ -357,6 +373,11 @@ func (r *ServiceBenchResult) Print(w io.Writer, spec ServiceBenchSpec) {
 	if h.Retries+h.Failovers+h.BreakerTrips+h.Recoveries+h.Rebuilds > 0 {
 		fmt.Fprintf(w, "  recovery    %d retries, %d failovers, %d breaker trips, %d node recoveries, %d group rebuilds\n",
 			h.Retries, h.Failovers, h.BreakerTrips, h.Recoveries, h.Rebuilds)
+	}
+	if rp := r.Stats.Repair; spec.RepairInterval > 0 {
+		fmt.Fprintf(w, "  repair      %d catch-ups, %d chunks (%d bytes) re-replicated, %d objects rebuilt, %d under-replicated\n",
+			rp.CatchUps, rp.ChunksRepaired, rp.BytesRepaired, rp.ObjectsRebuilt, rp.UnderReplicated)
+		fmt.Fprintf(w, "  nodes       states %v, versions behind %v\n", rp.NodeStates, rp.VersionsBehind)
 	}
 	fmt.Fprintf(w, "  %s\n", r.Stats)
 }
