@@ -53,6 +53,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "service execution slots (default = -concurrency)")
 		memBudget   = flag.Int64("mem-budget", 0, "service working-set budget in bytes (0 = unlimited)")
 		forceEngine = flag.String("engine", "", "force engine for -concurrency: ij or gh")
+		wire        = flag.String("wire", "", "fetch codec for -concurrency: rowmajor (default) or colenc (compressed columnar frames)")
 		replicas    = flag.Int("replicas", 1, "chunk copies across storage nodes for -concurrency (enables failover)")
 		faults      = flag.String("faults", "", "chaos schedule for -concurrency, e.g. crash:storage-1:fetch:20 (see internal/fault)")
 		prefetch    = flag.Int("prefetch", sciview.DefaultPrefetch, "IJ joiner lookahead depth for -concurrency (0 = disabled)")
@@ -74,6 +75,7 @@ func main() {
 			StorageNodes:   *storage,
 			ComputeNodes:   *compute,
 			Engine:         *forceEngine,
+			Wire:           *wire,
 			Seed:           *seed,
 			Replicas:       *replicas,
 			Faults:         *faults,

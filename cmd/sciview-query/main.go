@@ -27,6 +27,7 @@ func main() {
 		engine     = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice)")
 		diskBw     = flag.Float64("disk-bw", 0, "disk bandwidth in bytes/s (0 = unlimited)")
 		netBw      = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
+		wire       = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
 		cpuPerOp   = flag.Float64("cpu-per-op", 0, "modeled seconds per hash operation (0 = native)")
 		sharedFS   = flag.Bool("shared-fs", false, "route all I/O through a single shared server")
 		maxRows    = flag.Int("max-rows", 20, "rows to print per result (0 = all)")
@@ -48,6 +49,7 @@ func main() {
 		DiskReadBw:   *diskBw,
 		DiskWriteBw:  *diskBw,
 		NetBw:        *netBw,
+		Wire:         *wire,
 		CPUSecPerOp:  *cpuPerOp,
 		SharedFS:     *sharedFS,
 	})

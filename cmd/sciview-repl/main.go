@@ -30,6 +30,7 @@ func main() {
 		compute = flag.Int("compute", 4, "number of compute nodes")
 		diskBw  = flag.Float64("disk-bw", 0, "disk bandwidth in bytes/s (0 = unlimited)")
 		netBw   = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
+		wire    = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
 		maxRows = flag.Int("max-rows", 20, "rows to print per result (0 = all)")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 		ComputeNodes: *compute,
 		DiskReadBw:   *diskBw, DiskWriteBw: *diskBw,
 		NetBw: *netBw,
+		Wire:  *wire,
 	})
 	if err != nil {
 		log.Fatal(err)

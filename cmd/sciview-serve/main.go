@@ -62,6 +62,7 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
 		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
 		faults      = flag.String("faults", "", "chaos schedule, e.g. crash:storage-1:fetch:20,delay:compute-0:write:2:5ms")
+		wire        = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
 		prefetch    = flag.Int("prefetch", engine.DefaultPrefetch, "default IJ joiner lookahead depth for queries that leave it unset (0 = disabled)")
 		parallelism = flag.Int("parallelism", 0, "default hash-join kernel workers for queries that leave it unset (0 = all CPUs, 1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics (Prometheus text on /metrics, pprof on /debug/pprof/) at this address (serve mode; empty disables instrumentation)")
@@ -104,6 +105,7 @@ func main() {
 		DiskReadBw:   *diskBw,
 		DiskWriteBw:  *diskBw,
 		NetBw:        *netBw,
+		Wire:         *wire,
 		Faults:       *faults,
 		Metrics:      reg,
 	})

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"sciview/internal/colenc"
 	"sciview/internal/metadata"
 	"sciview/internal/transport"
 	"sciview/internal/tuple"
@@ -20,12 +21,25 @@ import (
 func ServiceName(node int) string { return fmt.Sprintf("bds-%d", node) }
 
 // subTableReq is the wire request for the "subtable" method.
+//
+// Wire is the fetch-codec negotiation: 0 (or absent — gob omits zero
+// fields and ignores unknown ones, so old and new peers interoperate in
+// both directions) requests the row-major SVT1 response; WireEncoded
+// advertises that the client can decode the compressed columnar SVT2
+// format. A server that understands the field answers with the best
+// format the client accepts; the client dispatches on the response magic,
+// so an old server's SVT1 reply to a new client still decodes fine.
 type subTableReq struct {
 	Table   int32
 	Chunk   int32
 	Filter  *metadata.Range
 	Project []string
+	Wire    byte
 }
+
+// WireEncoded is the subTableReq.Wire value requesting the SVT2
+// compressed columnar response format.
+const WireEncoded byte = 1
 
 // Serve registers the service's RPC handler on tr under ServiceName.
 func (s *Service) Serve(tr transport.Transport) (io.Closer, error) {
@@ -43,12 +57,21 @@ func (s *Service) handle(method string, payload []byte) ([]byte, error) {
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
 			return nil, fmt.Errorf("bds: decoding request: %w", err)
 		}
-		st, err := s.SubTableProjected(tuple.ID{Table: req.Table, Chunk: req.Chunk}, req.Filter, req.Project)
+		id := tuple.ID{Table: req.Table, Chunk: req.Chunk}
+		if req.Wire >= WireEncoded {
+			t, err := s.SubTableEncoded(id, req.Filter, req.Project)
+			if err != nil {
+				return nil, err
+			}
+			// Encode into a pooled buffer; ownership passes to the
+			// transport, which recycles it once the response frame is
+			// written.
+			return colenc.Encode(tuple.GetBuf(colenc.EncodedSize(t)), t), nil
+		}
+		st, err := s.SubTableProjected(id, req.Filter, req.Project)
 		if err != nil {
 			return nil, err
 		}
-		// Encode into a pooled buffer; ownership passes to the transport,
-		// which recycles it once the response frame is written.
 		return tuple.Encode(tuple.GetBuf(tuple.EncodedSize(st)), st), nil
 	default:
 		return nil, fmt.Errorf("bds: unknown method %q", method)
@@ -98,6 +121,32 @@ func (c *Client) SubTableProjected(ctx context.Context, id tuple.ID, filter *met
 	// buffer can go straight back to the pool.
 	tuple.PutBuf(resp)
 	return st, err
+}
+
+// SubTableEncoded fetches with the compressed columnar wire format
+// negotiated: the request advertises SVT2 support, and the response is
+// dispatched on its magic. A new server answers SVT2 (enc non-nil); an
+// old server that ignores the Wire field answers row-major SVT1 (st
+// non-nil) — exactly one of the two results is set.
+func (c *Client) SubTableEncoded(ctx context.Context, id tuple.ID, filter *metadata.Range, project []string) (enc *colenc.Table, st *tuple.SubTable, err error) {
+	var buf bytes.Buffer
+	req := subTableReq{Table: id.Table, Chunk: id.Chunk, Filter: filter, Project: project, Wire: WireEncoded}
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, nil, fmt.Errorf("bds: encoding request: %w", err)
+	}
+	resp, err := c.conn.CallContext(ctx, "subtable", buf.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Both decoders copy everything out of resp, so it goes straight back
+	// to the pool.
+	if colenc.IsEncoded(resp) {
+		enc, _, err = colenc.Decode(resp)
+	} else {
+		st, _, err = tuple.Decode(resp)
+	}
+	tuple.PutBuf(resp)
+	return enc, st, err
 }
 
 // Close releases the connection.

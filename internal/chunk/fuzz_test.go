@@ -10,12 +10,24 @@ import (
 // may panic, and accepted data must re-encode losslessly.
 func FuzzExtractors(f *testing.F) {
 	st := testTable(9, 77)
+	// Dictionary- and delta-patterned tables: the shapes the wire codec's
+	// encoders pick up from extracted chunks (low-cardinality cycling
+	// values; sequential integral coordinates).
+	dict := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 11}, testSchema(), 24)
+	delta := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 12}, testSchema(), 24)
+	pal := []float32{-1.5, 0, 2.25, 7}
+	for i := 0; i < 24; i++ {
+		dict.AppendRow(pal[i%4], pal[(i*3)%4], pal[(i*5)%4])
+		delta.AppendRow(float32(1000+i), float32(i*i), float32(-i))
+	}
 	for _, format := range []string{"rowmajor", "colmajor", "csv", "rle"} {
 		e, _ := Lookup(format)
-		data, _ := e.Encode(st)
-		f.Add(format, data)
-		if len(data) > 2 {
-			f.Add(format, data[:len(data)-2])
+		for _, table := range []*tuple.SubTable{st, dict, delta} {
+			data, _ := e.Encode(table)
+			f.Add(format, data)
+			if len(data) > 2 {
+				f.Add(format, data[:len(data)-2])
+			}
 		}
 	}
 	f.Add("csv", []byte("1,2,3\n4,,6\n"))

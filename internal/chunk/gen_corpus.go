@@ -36,6 +36,19 @@ func main() {
 	for i := 0; i < 16; i++ {
 		runs.AppendRow(float32(i/8), 4, 0.5)
 	}
+	// A low-cardinality table: the wire codec's dictionary case — few
+	// distinct values cycling with no exploitable run structure.
+	dict := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 11}, schema, 24)
+	pal := []float32{-1.5, 0, 2.25, 7}
+	for i := 0; i < 24; i++ {
+		dict.AppendRow(pal[i%4], pal[(i*3)%4], pal[(i*5)%4])
+	}
+	// A sequential-integer table: the wire codec's delta case — integral
+	// coordinates stepping by small increments.
+	delta := tuple.NewSubTable(tuple.ID{Table: 3, Chunk: 12}, schema, 24)
+	for i := 0; i < 24; i++ {
+		delta.AppendRow(float32(1000+i), float32(i*i), float32(-i))
+	}
 
 	dir := filepath.Join("testdata", "fuzz", "FuzzExtractors")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -67,6 +80,18 @@ func main() {
 			log.Fatal(err)
 		}
 		write("seed_"+format+"_runs", format, runData)
+
+		for name, table := range map[string]*tuple.SubTable{"dict": dict, "delta": delta} {
+			data, err := e.Encode(table)
+			if err != nil {
+				log.Fatal(err)
+			}
+			write("seed_"+format+"_"+name, format, data)
+			write("seed_"+format+"_"+name+"_truncated", format, data[:len(data)*2/3])
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/3] ^= 0x08
+			write("seed_"+format+"_"+name+"_bitflip", format, flipped)
+		}
 	}
 	fmt.Printf("wrote corpus to %s\n", dir)
 }

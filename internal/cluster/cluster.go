@@ -70,6 +70,14 @@ type Config struct {
 	// CPU a modeled resource that parallelizes across nodes regardless of
 	// how many host cores the emulation itself has.
 	CPUSecPerOp float64
+	// Wire selects the fetch codec between storage and compute: "" or
+	// "rowmajor" ships decoded row-major sub-tables (SVT1, the historical
+	// format); "colenc" negotiates the compressed columnar format (SVT2)
+	// — per-column RLE/dictionary/delta vectors with selection and
+	// projection already applied in the compressed domain, decoded only
+	// when a joiner consumes the rows. The choice is per-request, so
+	// peers that do not understand it fall back to row-major.
+	Wire string
 	// UseTCP serves every BDS instance over real TCP loopback sockets and
 	// routes compute-node sub-table fetches through them (wire encoding
 	// and all), instead of in-process calls. Modeled bandwidths still
@@ -101,7 +109,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: need at least 1 storage and 1 compute node (got %d, %d)",
 			c.StorageNodes, c.ComputeNodes)
 	}
+	switch c.Wire {
+	case "", "rowmajor", "colenc":
+	default:
+		return fmt.Errorf("cluster: unknown wire codec %q (want \"rowmajor\" or \"colenc\")", c.Wire)
+	}
 	return nil
+}
+
+// WireEncoded reports whether fetches negotiate the compressed columnar
+// wire format.
+func (c Config) WireEncoded() bool { return c.Wire == "colenc" }
+
+// WireName returns the effective fetch codec name ("rowmajor" or
+// "colenc"), resolving the default.
+func (c Config) WireName() string {
+	if c.WireEncoded() {
+		return "colenc"
+	}
+	return "rowmajor"
 }
 
 // NetAggregateBw returns Net_bw(n_s, n_j): the aggregate storage→compute
@@ -168,12 +194,15 @@ type ComputeNode struct {
 	// shared-filesystem configuration it is a handle on the NFS server.
 	Scratch *simio.Disk
 	NIC     *simio.NIC
-	// Cache is the node's Caching Service instance for sub-tables.
-	Cache cache.Cache[FetchKey, *tuple.SubTable]
+	// Cache is the node's Caching Service instance for sub-tables. Values
+	// are Fetched — compressed when the wire codec is "colenc" — and are
+	// charged at StoredBytes, so resident accounting reflects the bytes
+	// actually held rather than the decoded record size.
+	Cache cache.Cache[FetchKey, *Fetched]
 	// Flight deduplicates concurrent fetches of one sub-table across the
 	// queries sharing this node, so N simultaneous cache misses on a key
 	// cost one BDS fetch.
-	Flight *cache.Flight[FetchKey, *tuple.SubTable]
+	Flight *cache.Flight[FetchKey, *Fetched]
 	// CPU is the node's modeled processor: QES instances charge hash
 	// operations to it via SpendCPU.
 	CPU *simio.Throttle
@@ -228,6 +257,8 @@ type Cluster struct {
 type clusterMetrics struct {
 	fetches       *metrics.Counter
 	fetchBytes    *metrics.Counter
+	fetchEncBytes *metrics.Counter
+	fetchDecBytes *metrics.Counter
 	fetchFailures *metrics.Counter
 	retries       *metrics.Counter
 	failovers     *metrics.Counter
@@ -252,6 +283,8 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 	cl.met = clusterMetrics{
 		fetches:       reg.Counter("sciview_fetch_total", "Sub-table fetches served to compute nodes."),
 		fetchBytes:    reg.Counter("sciview_fetch_bytes_total", "Payload bytes of sub-tables shipped storage to compute."),
+		fetchEncBytes: reg.Counter("sciview_fetch_encoded_bytes_total", "Bytes of sub-table fetches as they traveled the wire (compressed when the colenc codec is negotiated)."),
+		fetchDecBytes: reg.Counter("sciview_fetch_decoded_bytes_total", "Row-major payload bytes the same fetches decode to; the ratio to encoded bytes is the live wire compression factor."),
 		fetchFailures: reg.Counter("sciview_fetch_failures_total", "Fetches that failed after consulting every replica."),
 		retries:       reg.Counter("sciview_retry_total", "Backoff re-attempts against the same replica."),
 		failovers:     reg.Counter("sciview_failover_total", "Fetches redirected to a subsequent replica."),
@@ -329,12 +362,12 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		if cfg.CPUSecPerOp > 0 {
 			cpuRate = 1 / cfg.CPUSecPerOp // "ops per second"
 		}
-		nodeCache, err := cache.NewPolicy[FetchKey, *tuple.SubTable](cfg.CachePolicy, cfg.CacheBytes)
+		nodeCache, err := cache.NewPolicy[FetchKey, *Fetched](cfg.CachePolicy, cfg.CacheBytes)
 		if err != nil {
 			return nil, err
 		}
 		nodeCache.SetMetrics(cacheMet)
-		flight := cache.NewFlight[FetchKey, *tuple.SubTable]()
+		flight := cache.NewFlight[FetchKey, *Fetched]()
 		// A leader whose fetch hits a transient fault hands the key off:
 		// waiters retry (and fail over) rather than inherit the error.
 		flight.Retryable = transport.IsRetryable
@@ -429,6 +462,21 @@ func (cl *Cluster) Fetch(computeID int, id tuple.ID, filter *metadata.Range) (*t
 // over to the chunk's next replica. Terminal errors — a *RemoteError, a
 // cancelled context — abort immediately.
 func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.ID, filter *metadata.Range, project []string) (*tuple.SubTable, error) {
+	f, err := cl.FetchEncoded(ctx, computeID, id, filter, project)
+	if err != nil {
+		return nil, err
+	}
+	return f.SubTable()
+}
+
+// FetchEncoded is FetchProjected returning the wire-form carrier: with
+// Config.Wire = "colenc" the sub-table arrives (and is handed to the
+// caller's cache) in its compressed columnar representation, and the
+// modeled NIC transfer is charged the compressed frame size — the whole
+// point of the codec in the paper's network-bound regimes. With the
+// row-major codec the carrier wraps the decoded sub-table and every byte
+// count matches the historical path exactly.
+func (cl *Cluster) FetchEncoded(ctx context.Context, computeID int, id tuple.ID, filter *metadata.Range, project []string) (*Fetched, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -439,19 +487,48 @@ func (cl *Cluster) FetchProjected(ctx context.Context, computeID int, id tuple.I
 	if computeID < 0 || computeID >= len(cl.Compute) {
 		return nil, fmt.Errorf("cluster: unknown compute node %d", computeID)
 	}
-	st, node, err := cl.replicaFailover(ctx, desc, func(node int) (*tuple.SubTable, error) {
+	encoded := cl.Config.WireEncoded()
+	f, node, err := cl.replicaFailover(ctx, desc, func(node int) (*Fetched, error) {
 		if cl.clients != nil {
-			return cl.clients[computeID][node].SubTableProjected(ctx, id, filter, project)
+			if encoded {
+				enc, st, err := cl.clients[computeID][node].SubTableEncoded(ctx, id, filter, project)
+				if err != nil {
+					return nil, err
+				}
+				if enc != nil {
+					return FetchedEncoded(enc), nil
+				}
+				return FetchedSubTable(st), nil
+			}
+			st, err := cl.clients[computeID][node].SubTableProjected(ctx, id, filter, project)
+			if err != nil {
+				return nil, err
+			}
+			return FetchedSubTable(st), nil
 		}
-		return cl.Storage[node].BDS.SubTableProjected(id, filter, project)
+		if encoded {
+			enc, err := cl.Storage[node].BDS.SubTableEncoded(id, filter, project)
+			if err != nil {
+				return nil, err
+			}
+			return FetchedEncoded(enc), nil
+		}
+		st, err := cl.Storage[node].BDS.SubTableProjected(id, filter, project)
+		if err != nil {
+			return nil, err
+		}
+		return FetchedSubTable(st), nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	wire := int64(f.WireBytes())
 	cl.met.fetches.Inc()
-	cl.met.fetchBytes.Add(int64(st.Bytes()))
-	simio.Transfer(cl.Storage[node].NIC, cl.Compute[computeID].NIC, int64(st.Bytes()))
-	return st, nil
+	cl.met.fetchBytes.Add(wire)
+	cl.met.fetchEncBytes.Add(wire)
+	cl.met.fetchDecBytes.Add(int64(f.DecodedBytes()))
+	simio.Transfer(cl.Storage[node].NIC, cl.Compute[computeID].NIC, wire)
+	return f, nil
 }
 
 // Ship models sending size bytes from storage node s to compute node j

@@ -159,7 +159,8 @@ func TestShipAndReset(t *testing.T) {
 		t.Errorf("ship recv = %d", got)
 	}
 	st, _ := cl.Fetch(0, tuple.ID{Table: ds.Left.ID, Chunk: 0}, nil)
-	cl.Compute[0].Cache.Put(FetchKey{ID: st.ID}, st, int64(st.Bytes()))
+	f := FetchedSubTable(st)
+	cl.Compute[0].Cache.Put(FetchKey{ID: st.ID}, f, int64(f.StoredBytes()))
 	cl.Reset()
 	tr := cl.Traffic()
 	if tr != (Traffic{}) {

@@ -159,7 +159,7 @@ var errBreakerOpen = fmt.Errorf("cluster: breaker open: %w", transport.ErrUnavai
 // chunk and node), consults and feeds the node's breaker, and counts ops
 // against the chaos schedule. It returns the sub-table and the node that
 // served it.
-func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try func(node int) (*tuple.SubTable, error)) (*tuple.SubTable, int, error) {
+func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try func(node int) (*Fetched, error)) (*Fetched, int, error) {
 	id := desc.ID()
 	// The placement list is read through the catalog lock: repair may be
 	// committing new replicas concurrently.
@@ -203,7 +203,7 @@ func (cl *Cluster) replicaFailover(ctx context.Context, desc *chunk.Desc, try fu
 		p.Retryable = func(err error) bool {
 			return !errors.Is(err, errBreakerOpen) && transport.IsRetryable(err)
 		}
-		var st *tuple.SubTable
+		var st *Fetched
 		err := retry.Do(ctx, p, func(attempt int) error {
 			if attempt > 0 {
 				cl.Health.Retries.Add(1)
@@ -254,7 +254,16 @@ func (cl *Cluster) ScanChunk(ctx context.Context, desc *chunk.Desc, filter *meta
 	if err := ctx.Err(); err != nil {
 		return nil, -1, err
 	}
-	return cl.replicaFailover(ctx, desc, func(node int) (*tuple.SubTable, error) {
-		return cl.Storage[node].BDS.SubTableProjected(desc.ID(), filter, project)
+	f, node, err := cl.replicaFailover(ctx, desc, func(node int) (*Fetched, error) {
+		st, err := cl.Storage[node].BDS.SubTableProjected(desc.ID(), filter, project)
+		if err != nil {
+			return nil, err
+		}
+		return FetchedSubTable(st), nil
 	})
+	if err != nil {
+		return nil, node, err
+	}
+	st, err := f.SubTable()
+	return st, node, err
 }

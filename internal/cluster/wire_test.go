@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sciview/internal/fault"
+	"sciview/internal/metadata"
+	"sciview/internal/metrics"
+	"sciview/internal/oilres"
+	"sciview/internal/partition"
+	"sciview/internal/retry"
+	"sciview/internal/tuple"
+)
+
+// rleDataset generates a dataset whose chunks are stored run-length
+// encoded, exercising the colenc pass-through path end to end.
+func rleDataset(t *testing.T, nodes, replicas int) *oilres.Dataset {
+	t.Helper()
+	ds, err := oilres.Generate(oilres.Config{
+		Grid:         partition.D(8, 8, 8),
+		LeftPart:     partition.D(4, 4, 4),
+		RightPart:    partition.D(4, 4, 4),
+		StorageNodes: nodes,
+		Replicas:     replicas,
+		Format:       "rle",
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// mustSame asserts two sub-tables are bit-identical: same schema order,
+// same rows, same float bits per cell (±0 and NaN payloads included).
+func mustSame(t *testing.T, a, b *tuple.SubTable) {
+	t.Helper()
+	if got, want := a.Schema.Names(), b.Schema.Names(); len(got) != len(want) {
+		t.Fatalf("schema mismatch: %v vs %v", got, want)
+	}
+	for i, n := range a.Schema.Names() {
+		if b.Schema.Names()[i] != n {
+			t.Fatalf("schema order mismatch: %v vs %v", a.Schema.Names(), b.Schema.Names())
+		}
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("rows %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for c := 0; c < a.Schema.NumAttrs(); c++ {
+		ac, bc := a.Col(c), b.Col(c)
+		for r := range ac {
+			if math.Float32bits(ac[r]) != math.Float32bits(bc[r]) {
+				t.Fatalf("cell (%d,%d): %v vs %v", r, c, ac[r], bc[r])
+			}
+		}
+	}
+}
+
+// TestWireEncodedByteIdentical fetches every chunk through both wire
+// codecs — plain, filtered, and projected — and requires bit-identical
+// decoded results, with the encoded wire moving strictly fewer bytes.
+func TestWireEncodedByteIdentical(t *testing.T) {
+	for _, format := range []string{"rowmajor", "rle"} {
+		t.Run(format, func(t *testing.T) {
+			mk := func(wire string) (*Cluster, *oilres.Dataset) {
+				ds, err := oilres.Generate(oilres.Config{
+					Grid:     partition.D(8, 8, 8),
+					LeftPart: partition.D(4, 4, 4), RightPart: partition.D(4, 4, 4),
+					StorageNodes: 2, Format: format, Seed: 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return build(t, Config{StorageNodes: 2, ComputeNodes: 1, Wire: wire}, ds), ds
+			}
+			plain, dsA := mk("")
+			enc, dsB := mk("colenc")
+			filter := &metadata.Range{Attrs: []string{"z"}, Lo: []float64{0}, Hi: []float64{2}}
+			for chunkID := int32(0); chunkID < 8; chunkID++ {
+				id := tuple.ID{Table: dsA.Left.ID, Chunk: chunkID}
+				a, err := plain.Fetch(0, id, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := enc.Fetch(0, id, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustSame(t, a, b)
+
+				ap, err := plain.FetchProjected(context.Background(), 0, id, filter, []string{"x", "oilp"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				bp, err := enc.FetchProjected(context.Background(), 0, tuple.ID{Table: dsB.Left.ID, Chunk: chunkID}, filter, []string{"x", "oilp"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustSame(t, ap, bp)
+			}
+			plainBytes := plain.Traffic().NetBytesToCompute
+			encBytes := enc.Traffic().NetBytesToCompute
+			if encBytes >= plainBytes {
+				t.Errorf("encoded wire moved %d bytes, row-major %d — no reduction", encBytes, plainBytes)
+			}
+			t.Logf("%s: wire bytes %d → %d (%.0f%%)", format, plainBytes, encBytes,
+				100*float64(encBytes)/float64(plainBytes))
+		})
+	}
+}
+
+// TestWireEncodedCounters checks the encoded/decoded byte counters and
+// that the cache retains the compressed representation (resident bytes
+// charged at stored size, well under the decoded size).
+func TestWireEncodedCounters(t *testing.T) {
+	ds := rleDataset(t, 2, 0)
+	reg := metrics.NewRegistry()
+	cl := build(t, Config{StorageNodes: 2, ComputeNodes: 1, CacheBytes: 1 << 20, Wire: "colenc", Metrics: reg}, ds)
+	id := tuple.ID{Table: ds.Left.ID, Chunk: 0}
+	f, err := cl.FetchEncoded(context.Background(), 0, id, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Encoded() {
+		t.Fatal("colenc fetch did not carry an encoded table")
+	}
+	encTotal := cl.met.fetchEncBytes.Value()
+	decTotal := cl.met.fetchDecBytes.Value()
+	if encTotal <= 0 || decTotal <= 0 {
+		t.Fatalf("counters: enc=%d dec=%d", encTotal, decTotal)
+	}
+	if encTotal >= decTotal {
+		t.Errorf("encoded bytes %d not below decoded %d on rle grid data", encTotal, decTotal)
+	}
+	if sb, db := f.StoredBytes(), f.DecodedBytes(); sb >= db {
+		t.Errorf("stored (cache-charged) bytes %d not below decoded %d", sb, db)
+	}
+	if f.WireBytes() != int(encTotal) {
+		t.Errorf("wire bytes %d, counter %d", f.WireBytes(), encTotal)
+	}
+}
+
+// TestWireEncodedTCP negotiates the encoded codec over real sockets and
+// cross-checks against an in-process row-major cluster.
+func TestWireEncodedTCP(t *testing.T) {
+	ds := rleDataset(t, 2, 0)
+	plain := build(t, Config{StorageNodes: 2, ComputeNodes: 1}, ds)
+	enc, err := New(Config{StorageNodes: 2, ComputeNodes: 1, UseTCP: true, Wire: "colenc"}, ds.Catalog, ds.Stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	filter := &metadata.Range{Attrs: []string{"y"}, Lo: []float64{0}, Hi: []float64{1}}
+	for chunkID := int32(0); chunkID < 8; chunkID++ {
+		id := tuple.ID{Table: ds.Right.ID, Chunk: chunkID}
+		a, err := plain.FetchProjected(context.Background(), 0, id, filter, []string{"x", "y", "wp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := enc.FetchProjected(context.Background(), 0, id, filter, []string{"x", "y", "wp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSame(t, a, b)
+	}
+}
+
+// TestWireEncodedFailover kills storage node 0 and checks the encoded
+// fetch path fails over to the replica, still byte-identical to an
+// undisturbed row-major fetch.
+func TestWireEncodedFailover(t *testing.T) {
+	ds := rleDataset(t, 2, 2)
+	plain := build(t, Config{StorageNodes: 2, ComputeNodes: 1}, ds)
+	inj := fault.New()
+	enc := build(t, Config{
+		StorageNodes: 2, ComputeNodes: 1, Wire: "colenc", Faults: inj,
+		Retry: retry.Policy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	}, ds)
+	inj.Kill(fault.StorageNode(0))
+	for chunkID := int32(0); chunkID < 8; chunkID++ {
+		id := tuple.ID{Table: ds.Left.ID, Chunk: chunkID}
+		a, err := plain.Fetch(0, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := enc.Fetch(0, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSame(t, a, b)
+	}
+	if enc.Health.Failovers.Load() == 0 {
+		t.Error("expected failovers with storage node 0 down")
+	}
+}

@@ -1,0 +1,381 @@
+package colenc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sciview/internal/chunk"
+	"sciview/internal/tuple"
+)
+
+func schema3(measures ...string) tuple.Schema {
+	attrs := []tuple.Attr{
+		{Name: "x", Kind: tuple.Coord},
+		{Name: "y", Kind: tuple.Coord},
+		{Name: "z", Kind: tuple.Coord},
+	}
+	for _, m := range measures {
+		attrs = append(attrs, tuple.Attr{Name: m, Kind: tuple.Measure})
+	}
+	return tuple.Schema{Attrs: attrs}
+}
+
+// gridTable builds the oilres-like shape: sequential integral coordinates
+// (x the inner loop) and pseudo-random measures.
+func gridTable(t *testing.T, nx, ny, nz int, measures ...string) *tuple.SubTable {
+	t.Helper()
+	st := tuple.NewSubTable(tuple.ID{Table: 1, Chunk: 2}, schema3(measures...), nx*ny*nz)
+	rng := rand.New(rand.NewSource(42))
+	row := make([]float32, 3+len(measures))
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				row[0], row[1], row[2] = float32(x), float32(y), float32(z)
+				for m := range measures {
+					row[3+m] = rng.Float32()
+				}
+				st.AppendRow(row...)
+			}
+		}
+	}
+	return st
+}
+
+func mustEqual(t *testing.T, got, want *tuple.SubTable) {
+	t.Helper()
+	if got.ID != want.ID {
+		t.Fatalf("id %v, want %v", got.ID, want.ID)
+	}
+	if !got.Schema.Equal(want.Schema) {
+		t.Fatalf("schema %v, want %v", got.Schema, want.Schema)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("%d rows, want %d", got.NumRows(), want.NumRows())
+	}
+	for c := 0; c < want.Schema.NumAttrs(); c++ {
+		g, w := got.Col(c), want.Col(c)
+		for r := range w {
+			if math.Float32bits(g[r]) != math.Float32bits(w[r]) {
+				t.Fatalf("col %d row %d: %v (bits %#x), want %v (bits %#x)",
+					c, r, g[r], math.Float32bits(g[r]), w[r], math.Float32bits(w[r]))
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := gridTable(t, 8, 8, 8, "oilp")
+	enc := FromSubTable(st)
+	back, err := enc.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, st)
+	if enc.StoredBytes() >= st.Bytes() {
+		t.Errorf("grid table did not compress: stored %d, decoded %d", enc.StoredBytes(), st.Bytes())
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	st := gridTable(t, 8, 4, 2, "oilp", "wp")
+	enc := FromSubTable(st)
+	frame := Encode(nil, enc)
+	if len(frame) != EncodedSize(enc) {
+		t.Fatalf("frame is %d bytes, EncodedSize says %d", len(frame), EncodedSize(enc))
+	}
+	if !IsEncoded(frame) {
+		t.Fatal("IsEncoded = false on an SVT2 frame")
+	}
+	dec, n, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(frame))
+	}
+	back, err := dec.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, st)
+	// Decode must copy out of the source buffer.
+	for i := range frame {
+		frame[i] = 0xFF
+	}
+	back2, err := dec.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back2, st)
+}
+
+func TestEncodingChoices(t *testing.T) {
+	st := gridTable(t, 8, 8, 8, "oilp")
+	enc := FromSubTable(st)
+	// z has 8 long runs → RLE; x cycles 0..7 (runs of 1, 8 distinct) →
+	// dict or delta beats raw; oilp is 512 random floats → raw.
+	if got := enc.Cols[2].Enc; got != EncRLE {
+		t.Errorf("z column encoded as %d, want RLE", got)
+	}
+	if got := enc.Cols[0].Enc; got == EncRaw || got == EncRLE {
+		t.Errorf("x column encoded as %d, want dict or delta", got)
+	}
+	if got := enc.Cols[3].Enc; got != EncRaw {
+		t.Errorf("oilp column encoded as %d, want raw", got)
+	}
+}
+
+func TestExactnessEdgeCases(t *testing.T) {
+	nan1 := math.Float32frombits(0x7FC00001)
+	nan2 := math.Float32frombits(0x7FC00002)
+	negZero := math.Float32frombits(0x80000000)
+	cols := [][]float32{
+		{0, negZero, 0, negZero, 1, -1, nan1, nan2, nan1, 16777216, -16777216, 0.5},
+	}
+	st, err := tuple.FromColumns(tuple.ID{Table: 3, Chunk: 4},
+		tuple.Schema{Attrs: []tuple.Attr{{Name: "v", Kind: tuple.Measure}}}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := FromSubTable(st)
+	frame := Encode(nil, enc)
+	dec, _, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dec.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, st)
+}
+
+func TestEachEncodingRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]float32{
+		"raw":   nil,
+		"rle":   nil,
+		"dict":  nil,
+		"delta": nil,
+		"empty": {},
+	}
+	raw := make([]float32, 300)
+	for i := range raw {
+		raw[i] = rng.Float32()*2e6 - 1e6
+	}
+	cases["raw"] = raw
+	rle := make([]float32, 300)
+	for i := range rle {
+		rle[i] = float32(i / 50)
+	}
+	cases["rle"] = rle
+	dict := make([]float32, 300)
+	vals := []float32{1.5, -2.25, 3.125, 100}
+	for i := range dict {
+		dict[i] = vals[rng.Intn(len(vals))]
+	}
+	cases["dict"] = dict
+	delta := make([]float32, 300)
+	for i := range delta {
+		delta[i] = float32(i%77 - 20)
+	}
+	cases["delta"] = delta
+	for name, col := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc := encodeColumn(col)
+			dst := make([]float32, len(col))
+			if err := decodeColumn(enc, len(col), dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range col {
+				if math.Float32bits(dst[i]) != math.Float32bits(col[i]) {
+					t.Fatalf("row %d: %v, want %v", i, dst[i], col[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFilterRangeMatchesRowMajor(t *testing.T) {
+	st := gridTable(t, 8, 8, 8, "oilp")
+	enc := FromSubTable(st)
+	names := []string{"x", "y", "oilp"}
+	lo := []float64{2, 1, 0}
+	hi := []float64{6, 5, 0.7}
+	want, err := st.FilterRange(names, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.FilterRange(names, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, want)
+
+	// All-pass returns the receiver unchanged.
+	same, err := enc.FilterRange([]string{"x"}, []float64{math.Inf(-1)}, []float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != enc {
+		t.Error("all-pass filter did not return the receiver")
+	}
+
+	// All-reject yields an empty table.
+	none, err := enc.FilterRange([]string{"x"}, []float64{100}, []float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Rows != 0 {
+		t.Errorf("all-reject kept %d rows", none.Rows)
+	}
+}
+
+func TestProject(t *testing.T) {
+	st := gridTable(t, 4, 4, 4, "oilp", "wp")
+	enc := FromSubTable(st)
+	proj, err := enc.Project([]string{"x", "wp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSt, err := st.Project([]string{"x", "wp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := proj.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, wantSt)
+}
+
+func TestFilterProjectMirrorsBDS(t *testing.T) {
+	st := gridTable(t, 6, 6, 6, "oilp")
+	enc := FromSubTable(st)
+	// "wp" is absent from this schema: its constraint must filter nothing;
+	// the projection keeps schema order regardless of request order.
+	names := []string{"z", "wp"}
+	lo := []float64{1, 5}
+	hi := []float64{4, 6}
+	project := []string{"oilp", "x"}
+
+	want, err := st.FilterRange([]string{"z"}, []float64{1}, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = want.Project([]string{"x", "oilp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.FilterProject(names, lo, hi, project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, want)
+}
+
+func TestParseRLEChunkPassThrough(t *testing.T) {
+	st := gridTable(t, 8, 8, 8, "oilp")
+	data, err := (chunk.RLE{}).Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := &chunk.Desc{Table: st.ID.Table, Chunk: st.ID.Chunk, Format: "rle",
+		Attrs: st.Schema.Attrs, Rows: st.NumRows()}
+	enc, err := ParseRLEChunk(desc, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Rows != st.NumRows() {
+		t.Fatalf("pass-through sees %d rows, want %d", enc.Rows, st.NumRows())
+	}
+	for c, col := range enc.Cols {
+		if col.Enc != EncRLE {
+			t.Fatalf("column %d encoding %d, want RLE", c, col.Enc)
+		}
+	}
+	back, err := enc.SubTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, back, st)
+	// The column payloads must be verbatim slices of the chunk layout.
+	var rebuilt []byte
+	for _, col := range enc.Cols {
+		rebuilt = append(rebuilt, col.Data...)
+	}
+	if !bytes.Equal(rebuilt, data) {
+		t.Error("pass-through payloads are not byte-identical to the chunk layout")
+	}
+
+	// Truncated and trailing-garbage chunks are rejected.
+	if _, err := ParseRLEChunk(desc, data[:len(data)-3]); err == nil {
+		t.Error("truncated chunk accepted")
+	}
+	if _, err := ParseRLEChunk(desc, append(append([]byte{}, data...), 1, 2, 3)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestWireSizeMatchesEncode(t *testing.T) {
+	st := gridTable(t, 8, 8, 4, "oilp", "wp")
+	if got, want := WireSize(st), EncodedSize(FromSubTable(st)); got != want {
+		t.Fatalf("WireSize = %d, EncodedSize = %d", got, want)
+	}
+}
+
+func TestDecodeHostile(t *testing.T) {
+	st := gridTable(t, 4, 4, 4, "oilp")
+	frame := Encode(nil, FromSubTable(st))
+	// Truncations at every length never panic.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := Decode(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Single-byte corruptions never panic (they may still decode).
+	for i := 0; i < len(frame); i++ {
+		mut := append([]byte{}, frame...)
+		mut[i] ^= 0x40
+		if tab, _, err := Decode(mut); err == nil {
+			tab.SubTable() // must not panic either
+		}
+	}
+}
+
+func TestSelectRLEMergesRuns(t *testing.T) {
+	// Selecting around a gap that separates two runs of the same value
+	// must merge them back into one run.
+	col := []float32{5, 5, 7, 5, 5}
+	enc := encodeColumn(col)
+	if enc.Enc != EncRLE {
+		t.Skipf("chooser picked encoding %d", enc.Enc)
+	}
+	tab := &Table{ID: tuple.ID{}, Schema: tuple.Schema{Attrs: []tuple.Attr{{Name: "v"}}},
+		Rows: 5, Cols: []Col{enc}}
+	sel, err := tab.Select([]bool{true, true, false, true, true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 4)
+	if err := decodeColumn(sel.Cols[0], 4, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst, []float32{5, 5, 5, 5}) {
+		t.Fatalf("selected column = %v", dst)
+	}
+	if got := len(sel.Cols[0].Data); got != 4+8 {
+		t.Errorf("selected RLE payload is %d bytes (runs not merged?)", got)
+	}
+}

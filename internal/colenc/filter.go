@@ -1,0 +1,267 @@
+package colenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FilterRange returns a table with only the rows whose named attributes
+// fall within [lo[i], hi[i]] for every i, matching
+// tuple.SubTable.FilterRange row for row. The selection mask is computed
+// against the encoded vectors — RLE runs are tested once per run,
+// dictionary entries once per entry, delta vectors in one accumulator walk
+// — so no row is materialized to decide its fate. When every row
+// qualifies the receiver is returned unchanged (the no-op fast path for
+// unselective fetches).
+func (t *Table) FilterRange(names []string, lo, hi []float64) (*Table, error) {
+	if len(names) != len(lo) || len(lo) != len(hi) {
+		return nil, fmt.Errorf("colenc: FilterRange arity mismatch (%d names, %d lo, %d hi)", len(names), len(lo), len(hi))
+	}
+	idxs, err := t.Schema.Indexes(names)
+	if err != nil {
+		return nil, err
+	}
+	keep := make([]bool, t.Rows)
+	for i := range keep {
+		keep[i] = true
+	}
+	kept := t.Rows
+	for k, idx := range idxs {
+		if kept == 0 {
+			break
+		}
+		n, err := maskColumn(t.Cols[idx], t.Rows, lo[k], hi[k], keep)
+		if err != nil {
+			return nil, fmt.Errorf("colenc: column %d (%s): %w", idx, t.Schema.Attrs[idx].Name, err)
+		}
+		kept = n
+	}
+	if kept == t.Rows {
+		return t, nil
+	}
+	return t.Select(keep, kept)
+}
+
+// maskColumn clears keep[i] for every row i whose value in c falls outside
+// [lo, hi], evaluating against the encoded vector. It returns the number
+// of rows still kept.
+func maskColumn(c Col, rows int, lo, hi float64, keep []bool) (int, error) {
+	in := func(v float32) bool {
+		f := float64(v)
+		return f >= lo && f <= hi
+	}
+	switch c.Enc {
+	case EncRaw:
+		if len(c.Data) != 4*rows {
+			return 0, fmt.Errorf("colenc: raw column has %d bytes for %d rows", len(c.Data), rows)
+		}
+		for i := 0; i < rows; i++ {
+			if keep[i] && !in(math.Float32frombits(binary.LittleEndian.Uint32(c.Data[4*i:]))) {
+				keep[i] = false
+			}
+		}
+	case EncRLE:
+		// Run-wise: one range test per run, then a single span clear.
+		if len(c.Data) < 4 {
+			return 0, fmt.Errorf("colenc: rle column truncated")
+		}
+		runs := int(binary.LittleEndian.Uint32(c.Data))
+		off, at := 4, 0
+		for r := 0; r < runs; r++ {
+			if len(c.Data) < off+8 {
+				return 0, fmt.Errorf("colenc: rle column truncated at run %d", r)
+			}
+			length := int(binary.LittleEndian.Uint32(c.Data[off:]))
+			value := math.Float32frombits(binary.LittleEndian.Uint32(c.Data[off+4:]))
+			off += 8
+			if length <= 0 || at+length > rows {
+				return 0, fmt.Errorf("colenc: rle run %d length %d overflows %d rows", r, length, rows)
+			}
+			if !in(value) {
+				for i := at; i < at+length; i++ {
+					keep[i] = false
+				}
+			}
+			at += length
+		}
+		if at != rows {
+			return 0, fmt.Errorf("colenc: rle column decodes %d rows, want %d", at, rows)
+		}
+	case EncDict:
+		// One range test per dictionary entry, then a byte scan over the
+		// index vector.
+		if len(c.Data) < 2 {
+			return 0, fmt.Errorf("colenc: dict column truncated")
+		}
+		n := int(binary.LittleEndian.Uint16(c.Data))
+		if len(c.Data) != 2+4*n+rows {
+			return 0, fmt.Errorf("colenc: dict column has %d bytes for %d entries, %d rows", len(c.Data), n, rows)
+		}
+		var pass [maxDictEntries]bool
+		for e := 0; e < n; e++ {
+			pass[e] = in(math.Float32frombits(binary.LittleEndian.Uint32(c.Data[2+4*e:])))
+		}
+		idxs := c.Data[2+4*n:]
+		for i := 0; i < rows; i++ {
+			idx := int(idxs[i])
+			if idx >= n {
+				return 0, fmt.Errorf("colenc: dict index %d out of range (%d entries)", idx, n)
+			}
+			if keep[i] && !pass[idx] {
+				keep[i] = false
+			}
+		}
+	case EncDelta:
+		data := c.Data
+		var acc int64
+		for i := 0; i < rows; i++ {
+			u, n := binary.Uvarint(data)
+			if n <= 0 {
+				return 0, fmt.Errorf("colenc: delta column truncated at row %d", i)
+			}
+			data = data[n:]
+			acc += int64(u>>1) ^ -int64(u&1)
+			if keep[i] && !in(float32(acc)) {
+				keep[i] = false
+			}
+		}
+		if len(data) != 0 {
+			return 0, fmt.Errorf("colenc: delta column has %d trailing bytes", len(data))
+		}
+	default:
+		return 0, fmt.Errorf("colenc: unknown column encoding %d", c.Enc)
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	return kept, nil
+}
+
+// Select returns a table holding the rows for which keep[i] is true; kept
+// must equal the number of such rows. RLE columns split their runs in
+// place (no decode); other encodings decode the single column, gather the
+// surviving rows, and re-encode with the per-column chooser.
+func (t *Table) Select(keep []bool, kept int) (*Table, error) {
+	if len(keep) != t.Rows {
+		return nil, fmt.Errorf("colenc: selection mask has %d entries for %d rows", len(keep), t.Rows)
+	}
+	out := &Table{ID: t.ID, Schema: t.Schema, Rows: kept, Cols: make([]Col, len(t.Cols))}
+	for ci, c := range t.Cols {
+		if c.Enc == EncRLE {
+			sel, err := selectRLE(c.Data, t.Rows, keep)
+			if err != nil {
+				return nil, fmt.Errorf("colenc: column %d (%s): %w", ci, t.Schema.Attrs[ci].Name, err)
+			}
+			out.Cols[ci] = Col{Enc: EncRLE, Data: sel}
+			continue
+		}
+		col := make([]float32, t.Rows)
+		if err := decodeColumn(c, t.Rows, col); err != nil {
+			return nil, fmt.Errorf("colenc: column %d (%s): %w", ci, t.Schema.Attrs[ci].Name, err)
+		}
+		gathered := make([]float32, 0, kept)
+		for i, k := range keep {
+			if k {
+				gathered = append(gathered, col[i])
+			}
+		}
+		out.Cols[ci] = encodeColumn(gathered)
+	}
+	return out, nil
+}
+
+// selectRLE produces the RLE payload of the selected rows by splitting
+// runs against the mask, merging adjacent surviving fragments that carry
+// the same bit pattern.
+func selectRLE(data []byte, rows int, keep []bool) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("colenc: rle column truncated")
+	}
+	runs := int(binary.LittleEndian.Uint32(data))
+	type run struct {
+		length int
+		bits   uint32
+	}
+	var out []run
+	off, at := 4, 0
+	for r := 0; r < runs; r++ {
+		if len(data) < off+8 {
+			return nil, fmt.Errorf("colenc: rle column truncated at run %d", r)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		bits := binary.LittleEndian.Uint32(data[off+4:])
+		off += 8
+		if length <= 0 || at+length > rows {
+			return nil, fmt.Errorf("colenc: rle run %d length %d overflows %d rows", r, length, rows)
+		}
+		surviving := 0
+		for i := at; i < at+length; i++ {
+			if keep[i] {
+				surviving++
+			}
+		}
+		if surviving > 0 {
+			if len(out) > 0 && out[len(out)-1].bits == bits {
+				out[len(out)-1].length += surviving
+			} else {
+				out = append(out, run{surviving, bits})
+			}
+		}
+		at += length
+	}
+	if at != rows {
+		return nil, fmt.Errorf("colenc: rle column decodes %d rows, want %d", at, rows)
+	}
+	enc := make([]byte, 4+8*len(out))
+	binary.LittleEndian.PutUint32(enc, uint32(len(out)))
+	for i, r := range out {
+		binary.LittleEndian.PutUint32(enc[4+8*i:], uint32(r.length))
+		binary.LittleEndian.PutUint32(enc[8+8*i:], r.bits)
+	}
+	return enc, nil
+}
+
+// FilterProject applies the BDS fetch shaping to an encoded table in the
+// compressed domain: the range filter first (constraints naming attributes
+// absent from the schema filter nothing, mirroring the row-major path),
+// then the projection (restricted to attributes present, in schema order).
+func (t *Table) FilterProject(names []string, lo, hi []float64, project []string) (*Table, error) {
+	var fNames []string
+	var fLo, fHi []float64
+	for i, a := range names {
+		if t.Schema.Index(a) < 0 {
+			continue // absent attribute: bounds are infinite, keep all rows
+		}
+		fNames = append(fNames, a)
+		fLo = append(fLo, lo[i])
+		fHi = append(fHi, hi[i])
+	}
+	out := t
+	if len(fNames) > 0 {
+		var err error
+		if out, err = out.FilterRange(fNames, fLo, fHi); err != nil {
+			return nil, err
+		}
+	}
+	if project != nil {
+		keep := make([]string, 0, len(project))
+		want := make(map[string]bool, len(project))
+		for _, p := range project {
+			want[p] = true
+		}
+		for _, a := range out.Schema.Attrs {
+			if want[a.Name] {
+				keep = append(keep, a.Name)
+			}
+		}
+		var err error
+		if out, err = out.Project(keep); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+//go:build ignore
+
+// Generates the on-disk seed corpus for FuzzWireCodec under
+// testdata/fuzz/FuzzWireCodec/: real SVT2 frames whose columns land on
+// each of the four encodings (full, truncated, and bit-flipped), so
+// fuzzing starts inside the codec's deep decode paths. Run from this
+// directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"sciview/internal/colenc"
+	"sciview/internal/tuple"
+)
+
+func main() {
+	schema := tuple.NewSchema(
+		tuple.Attr{Name: "x", Kind: tuple.Coord},
+		tuple.Attr{Name: "y", Kind: tuple.Coord},
+		tuple.Attr{Name: "z", Kind: tuple.Coord},
+		tuple.Attr{Name: "oilp", Kind: tuple.Measure},
+	)
+	r := rand.New(rand.NewSource(41))
+
+	// Grid coordinates: z lands on RLE, y on RLE/dict, x on delta/dict,
+	// the measure on raw.
+	grid := tuple.NewSubTable(tuple.ID{Table: 1, Chunk: 0}, schema, 64)
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				grid.AppendRow(float32(x), float32(y), float32(z), r.Float32())
+			}
+		}
+	}
+	// Awkward bit patterns: NaN payloads, negative zero, delta extremes.
+	edges := tuple.NewSubTable(tuple.ID{Table: 1, Chunk: 1}, schema, 16)
+	for i := 0; i < 16; i++ {
+		m := float32(i)
+		if i%3 == 0 {
+			m = math.Float32frombits(0x7FC00000 | uint32(i))
+		}
+		neg := float32(1 << 24)
+		if i%2 == 0 {
+			neg = math.Float32frombits(0x80000000) // -0
+		}
+		edges.AppendRow(float32(1<<24-i), neg, float32(i/5), m)
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for name, st := range map[string]*tuple.SubTable{"grid": grid, "edges": edges} {
+		frame := colenc.Encode(nil, colenc.FromSubTable(st))
+		write("seed_"+name, frame)
+		write("seed_"+name+"_truncated", frame[:len(frame)*2/3])
+		flipped := append([]byte(nil), frame...)
+		flipped[len(flipped)/2] ^= 0x10
+		write("seed_"+name+"_bitflip", flipped)
+	}
+	fmt.Printf("wrote corpus to %s\n", dir)
+}

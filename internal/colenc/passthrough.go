@@ -1,0 +1,68 @@
+package colenc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sciview/internal/chunk"
+)
+
+// ParseRLEChunk reinterprets an on-disk "rle" chunk as an encoded Table
+// without materializing a single row: each column's run section is sliced
+// straight out of the chunk bytes as an EncRLE payload (the layouts are
+// byte-identical). The storage-node fetch path uses this so RLE chunks
+// travel disk → wire with run-wise filtering in between but no
+// decode/re-encode round trip.
+//
+// The walk validates exactly what chunk.RLE.Extract validates — run
+// lengths positive, every column decoding to the same row count, no
+// trailing bytes — so a chunk this function accepts is one the extractor
+// would accept. Payloads are copied, so the caller may recycle data.
+func ParseRLEChunk(d *chunk.Desc, data []byte) (*Table, error) {
+	schema := d.Schema()
+	na := schema.NumAttrs()
+	if na == 0 {
+		return nil, fmt.Errorf("colenc: rle chunk %v has no attributes", d.ID())
+	}
+	type span struct{ start, end int }
+	spans := make([]span, na)
+	off := 0
+	rows := -1
+	for c := 0; c < na; c++ {
+		start := off
+		if len(data) < off+4 {
+			return nil, fmt.Errorf("colenc: rle chunk %v: truncated at column %d header", d.ID(), c)
+		}
+		runs := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		n := 0
+		for r := 0; r < runs; r++ {
+			if len(data) < off+8 {
+				return nil, fmt.Errorf("colenc: rle chunk %v: truncated run %d of column %d", d.ID(), r, c)
+			}
+			length := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 8
+			if length <= 0 || (rows >= 0 && n+length > rows) || n+length > maxDecodeRows {
+				return nil, fmt.Errorf("colenc: rle chunk %v: invalid run length %d in column %d", d.ID(), length, c)
+			}
+			n += length
+		}
+		if rows < 0 {
+			rows = n
+		} else if n != rows {
+			return nil, fmt.Errorf("colenc: rle chunk %v: column %d has %d rows, column 0 has %d",
+				d.ID(), c, n, rows)
+		}
+		spans[c] = span{start, off}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("colenc: rle chunk %v: %d trailing bytes", d.ID(), len(data)-off)
+	}
+	backing := make([]byte, len(data))
+	copy(backing, data)
+	t := &Table{ID: d.ID(), Schema: schema, Rows: rows, Cols: make([]Col, na)}
+	for c, s := range spans {
+		t.Cols[c] = Col{Enc: EncRLE, Data: backing[s.start:s.end:s.end]}
+	}
+	return t, nil
+}

@@ -24,6 +24,7 @@ import (
 
 	"sciview/internal/chunk"
 	"sciview/internal/cluster"
+	"sciview/internal/colenc"
 	"sciview/internal/engine"
 	"sciview/internal/fault"
 	"sciview/internal/hashjoin"
@@ -487,9 +488,17 @@ func (e *Engine) shipBatch(cl *cluster.Cluster, src int, grp *group, sd side,
 	}
 	part := grp.part(sd)
 	start := time.Now()
-	cl.Ship(src, grp.exec, int64(batch.Bytes()))
+	// Under the colenc wire codec the batch travels in compressed columnar
+	// form; the modeled NIC is charged the frame size the sizing pass
+	// computes, not the row-major payload. Rows delivered to the
+	// partitioner are identical either way.
+	size := int64(batch.Bytes())
+	if cl.Config.WireEncoded() {
+		size = int64(colenc.WireSize(batch))
+	}
+	cl.Ship(src, grp.exec, size)
 	rec.Span(fmt.Sprintf("storage-%d", src), trace.KindShip, part.node, start,
-		int64(batch.Bytes()), int64(batch.NumRows()))
+		size, int64(batch.NumRows()))
 	if err := part.add(batch, keyIdxs); err != nil {
 		if node, down := fault.IsNodeDown(err); down && node == fault.ComputeNode(grp.exec) {
 			grp.lost.Store(true)

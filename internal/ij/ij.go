@@ -395,12 +395,12 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		go func() {
 			defer pwg.Done()
 			start := time.Now()
-			st, err := e.flightFetch(pctx, cl, exec, node, key, id, filter, project, req.Trace)
+			f, err := e.flightFetch(pctx, cl, exec, node, key, id, filter, project, req.Trace)
 			if err != nil {
 				return
 			}
 			req.Trace.Span(node, trace.KindPrefetch, id.String(), start,
-				int64(st.Bytes()), int64(st.NumRows()))
+				int64(f.DecodedBytes()), int64(f.NumRows()))
 		}()
 	}
 
@@ -474,23 +474,30 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 // cachedFetch consults the joiner's Caching Service before asking the
 // owning BDS instance for the sub-table. Concurrent misses on one key —
 // several shared queries needing the same sub-table at once — collapse
-// into a single BDS fetch through the node's Flight deduplicator.
+// into a single BDS fetch through the node's Flight deduplicator. The
+// cache holds wire-form carriers (compressed under the colenc codec);
+// the decode back to rows here is exact, so results never depend on the
+// negotiated format.
 func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, id tuple.ID, sig uint64, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
 	cn := cl.Compute[j]
 	key := cluster.FetchKey{ID: id, Sig: sig}
-	if st, ok := cn.Cache.Get(key); ok {
-		return st, nil
+	if f, ok := cn.Cache.Get(key); ok {
+		return f.SubTable()
 	}
-	return e.flightFetch(ctx, cl, j, node, key, id, filter, project, rec)
+	f, err := e.flightFetch(ctx, cl, j, node, key, id, filter, project, rec)
+	if err != nil {
+		return nil, err
+	}
+	return f.SubTable()
 }
 
 // flightFetch is cachedFetch after the demand-path cache probe: it joins
 // the node's Flight group for key and, as leader, fetches from the owning
 // BDS and populates the cache. Prefetchers enter here directly so their
 // speculative lookups never touch the cache's hit/miss counters.
-func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, key cluster.FetchKey, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
+func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, key cluster.FetchKey, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*cluster.Fetched, error) {
 	cn := cl.Compute[j]
-	st, _, err := cn.Flight.Do(ctx, key, func() (*tuple.SubTable, error) {
+	f, _, err := cn.Flight.Do(ctx, key, func() (*cluster.Fetched, error) {
 		// Another query may have populated the cache while this caller
 		// was queued behind a leader that then failed or was cancelled.
 		// Peek is one racy-window-free lookup (a single critical section,
@@ -498,19 +505,22 @@ func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, no
 		// entry and then lose it to an eviction between the two calls) and
 		// is stat-free, so the common path's miss accounting stays
 		// one-miss-per-fetch: only the demand-path Get above counts.
-		if st, ok := cn.Cache.Peek(key); ok {
-			return st, nil
+		if f, ok := cn.Cache.Peek(key); ok {
+			return f, nil
 		}
 		start := time.Now()
-		st, err := cl.FetchProjected(ctx, j, id, filter, project)
+		f, err := cl.FetchEncoded(ctx, j, id, filter, project)
 		if err != nil {
 			return nil, err
 		}
-		rec.Span(node, trace.KindFetch, id.String(), start, int64(st.Bytes()), int64(st.NumRows()))
-		cn.Cache.Put(key, st, int64(st.Bytes()))
-		return st, nil
+		rec.Span(node, trace.KindFetch, id.String(), start, int64(f.DecodedBytes()), int64(f.NumRows()))
+		// Charge the stored (possibly compressed) size, not the decoded
+		// record size: admission and eviction track resident reality, and
+		// under the colenc codec more sub-tables fit per node.
+		cn.Cache.Put(key, f, int64(f.StoredBytes()))
+		return f, nil
 	})
-	return st, err
+	return f, err
 }
 
 // engineFilterFor keeps only the constraints naming attributes of def's

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sciview/internal/chunk"
 	"sciview/internal/cluster"
 	"sciview/internal/costmodel"
 	"sciview/internal/dds"
@@ -106,6 +107,13 @@ type ScanNode struct {
 	schema   tuple.Schema
 	descs    []tuple.ID
 	estRows  int64
+	// estDecBytes / estWireBytes are the decoded row-major size of the
+	// resolved chunk set (after projection) and the size estimated to cross
+	// the storage→compute NIC under the cluster's wire codec. Equal when the
+	// wire is row-major; under colenc the rle chunks' on-disk size stands in
+	// for their pass-through encoded size.
+	estDecBytes  int64
+	estWireBytes int64
 }
 
 // NewScan builds an executable table scan, validating the predicates and
@@ -143,19 +151,52 @@ func NewScan(cl *cluster.Cluster, table string, preds []query.Pred, proj []strin
 		Cluster: cl, Table: table, Preds: mine, Proj: proj,
 		filter: filter, schema: schema,
 	}
-	for _, d := range descs {
-		n.descs = append(n.descs, d.ID())
-		n.estRows += int64(d.Rows)
-	}
+	n.resolveEstimates(descs, len(def.Schema.Names()))
 	return n, nil
 }
 
 // joinInputScan describes one side of a join for EXPLAIN: the engine does
-// the actual fetching with this filter and projection pushed down.
+// the actual fetching with this filter and projection pushed down. The
+// chunk set is resolved best-effort so the scan can annotate its estimated
+// fetch volume; a resolution failure leaves the estimates at zero without
+// failing the plan (the engine re-resolves at run time anyway).
 func joinInputScan(cl *cluster.Cluster, table string, schema tuple.Schema, filter metadata.Range, proj []string) *ScanNode {
-	return &ScanNode{
+	n := &ScanNode{
 		Cluster: cl, Table: table, Proj: proj,
 		joinSide: true, filter: filter, schema: schema,
+	}
+	if descs, err := cl.Catalog.ChunksInRange(table, filter); err == nil {
+		fullAttrs := len(schema.Names())
+		if def, err := cl.Catalog.Table(table); err == nil {
+			fullAttrs = len(def.Schema.Names())
+		}
+		n.resolveEstimates(descs, fullAttrs)
+	}
+	return n
+}
+
+// resolveEstimates accumulates the resolved chunk IDs and the fetch-volume
+// estimates for the scan. fullAttrs is the base table's attribute count,
+// used to pro-rate on-disk rle sizes down to the projected columns.
+func (n *ScanNode) resolveEstimates(descs []*chunk.Desc, fullAttrs int) {
+	rec := int64(n.schema.RecordSize())
+	attrs := int64(len(n.schema.Names()))
+	encoded := n.Cluster.Config.WireEncoded()
+	for _, d := range descs {
+		n.descs = append(n.descs, d.ID())
+		n.estRows += int64(d.Rows)
+		dec := int64(d.Rows) * rec
+		n.estDecBytes += dec
+		wire := dec
+		if encoded && d.Format == "rle" && fullAttrs > 0 {
+			// Pass-through: the wire carries the chunk's on-disk runs,
+			// narrowed to the projected columns. The codec never ships more
+			// than raw, so the estimate is capped at the decoded size.
+			if w := d.Size * attrs / int64(fullAttrs); w < dec {
+				wire = w
+			}
+		}
+		n.estWireBytes += wire
 	}
 }
 
@@ -179,6 +220,33 @@ func (n *ScanNode) describe() string {
 		fmt.Fprintf(&b, " project[%s]", strings.Join(n.Proj, ", "))
 	}
 	return b.String()
+}
+
+// annotations is the scan's extra EXPLAIN line: the wire codec the fetch
+// path will use and the estimated bytes it moves storage→compute.
+func (n *ScanNode) annotations() []string {
+	if len(n.descs) == 0 {
+		return nil
+	}
+	line := fmt.Sprintf("fetch: wire=%s est=%s", n.Cluster.Config.WireName(), fmtBytes(n.estWireBytes))
+	if n.estWireBytes != n.estDecBytes {
+		line += fmt.Sprintf(" (decoded %s)", fmtBytes(n.estDecBytes))
+	}
+	return []string{line}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix for EXPLAIN.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -46,6 +46,10 @@ type ClusterSpec struct {
 	// UseTCP serves every BDS over real TCP loopback sockets and fetches
 	// sub-tables through them (wire codec and all). Call Close when done.
 	UseTCP bool
+	// Wire selects the storage→compute fetch codec: "" or "rowmajor" for
+	// decoded sub-tables (SVT1), "colenc" for the compressed columnar
+	// frames (SVT2) that shrink the modeled network transfer.
+	Wire string
 	// Faults is a deterministic chaos schedule injected into the cluster's
 	// disks and transports, e.g.
 	// "crash:storage-1:fetch:3,delay:compute-0:write:2:5ms" (see
@@ -110,6 +114,7 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 		CachePolicy:      spec.CachePolicy,
 		CPUSecPerOp:      spec.CPUSecPerOp,
 		UseTCP:           spec.UseTCP,
+		Wire:             spec.Wire,
 		Faults:           inj,
 		BreakerThreshold: spec.BreakerThreshold,
 		BreakerCooldown:  spec.BreakerCooldown,

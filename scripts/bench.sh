@@ -15,8 +15,12 @@
 # append-heavy workload (fold one committed time step into a materialized
 # join view): delta-join refresh vs full recompute, written to
 # BENCH_pr6.json with the headline delta_refresh_speedup_vs_full.
+# A fifth leg benchmarks the compressed columnar wire format on
+# network-bound IJ and GH workloads (8 MB/s NICs): row-major vs colenc
+# fetch codec, written to BENCH_pr8.json with the headline fetch-byte and
+# wall-clock reductions (both must clear 30% on this data).
 #
-#   scripts/bench.sh [pr3-output.json] [pr4-output.json] [pr5-output.json] [pr6-output.json]
+#   scripts/bench.sh [pr3.json] [pr4.json] [pr5.json] [pr6.json] [pr8.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,11 +28,13 @@ out="${1:-BENCH_pr3.json}"
 out4="${2:-BENCH_pr4.json}"
 out5="${3:-BENCH_pr5.json}"
 out6="${4:-BENCH_pr6.json}"
+out8="${5:-BENCH_pr8.json}"
 raw="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
 raw6="$(mktemp)"
-trap 'rm -f "$raw" "$raw4" "$raw5" "$raw6"' EXIT
+raw8="$(mktemp)"
+trap 'rm -f "$raw" "$raw4" "$raw5" "$raw6" "$raw8"' EXIT
 
 echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
@@ -189,3 +195,39 @@ END {
 
 echo "== wrote $out6"
 cat "$out6"
+
+echo "== compressed wire format (network-bound IJ + GH: rowmajor vs colenc)"
+go test -run '^$' -bench 'BenchmarkIJWire|BenchmarkGHWire' -benchtime 5x \
+    ./internal/ij/ ./internal/gh/ | tee "$raw8"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($i == "fetchMB") mb[name] = $(i-1)
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", k, ns[k]
+        if (k in mb) printf ", \"fetch_mb\": %s", mb[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    ir = "BenchmarkIJWire/wire=rowmajor"; ic = "BenchmarkIJWire/wire=colenc"
+    gr = "BenchmarkGHWire/wire=rowmajor"; gc = "BenchmarkGHWire/wire=colenc"
+    if (mb[ir] && mb[ic]) printf "    \"ij_fetch_bytes_reduction\": %.3f,\n", 1 - mb[ic] / mb[ir]
+    if (ns[ir] && ns[ic]) printf "    \"ij_wire_wallclock_reduction\": %.3f,\n", 1 - ns[ic] / ns[ir]
+    if (mb[gr] && mb[gc]) printf "    \"gh_fetch_bytes_reduction\": %.3f,\n", 1 - mb[gc] / mb[gr]
+    if (ns[gr] && ns[gc]) printf "    \"gh_wire_wallclock_reduction\": %.3f\n", 1 - ns[gc] / ns[gr]
+    printf "  }\n}\n"
+}
+' "$raw8" > "$out8"
+
+echo "== wrote $out8"
+cat "$out8"

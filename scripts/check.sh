@@ -50,6 +50,9 @@ go test -race -count=1 -run TestMetricsScrapeDuringServiceBench .
 echo "== go test -race (differential harness: streaming==materialized, IJ==GH, faulted leg)"
 go test -race -count=1 -run TestDifferential ./internal/planner
 
+echo "== go test -race (wire codec: compressed vs row-major byte-identical, incl. faulted leg)"
+go test -race -count=1 -run 'TestGoldenCorpusWireInvariant|TestDifferentialWire|TestWire' ./internal/planner ./internal/cluster ./internal/colenc
+
 echo "== go test -race (living datasets: ingest, snapshot pins, delta==full, insert-during-query)"
 go test -race -count=1 ./internal/ingest
 go test -race -count=3 -run TestConcurrentAppendDuringQuery ./internal/metadata
@@ -58,8 +61,11 @@ go test -race -count=1 -run TestLivingDataset .
 echo "== fuzz smoke (parser must never panic, 10s)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/query
 
-echo "== fuzz smoke (chunk extractors over the seeded RLE/ColMajor corpus, 10s)"
+echo "== fuzz smoke (chunk extractors over the seeded RLE/ColMajor/dict/delta corpus, 10s)"
 go test -run '^$' -fuzz FuzzExtractors -fuzztime 10s ./internal/chunk
+
+echo "== fuzz smoke (SVT2 wire codec round-trip over the seeded frame corpus, 10s)"
+go test -run '^$' -fuzz FuzzWireCodec -fuzztime 10s ./internal/colenc
 
 echo "== bench smoke (kernels + codec, 100 iterations)"
 go test -run '^$' -bench . -benchtime 100x ./internal/hashjoin ./internal/tuple

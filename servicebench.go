@@ -39,6 +39,9 @@ type ServiceBenchSpec struct {
 	ComputeNodes int
 	// Engine forces "ij" or "gh" ("" = cost-model choice).
 	Engine string
+	// Wire selects the fetch codec: "" or "rowmajor" for decoded
+	// sub-tables, "colenc" for compressed columnar frames.
+	Wire string
 	// Seed varies the dataset (default 2006).
 	Seed int64
 	// Replicas places each chunk on this many storage nodes (default 1 =
@@ -157,7 +160,7 @@ func RunServiceBench(spec ServiceBenchSpec, w io.Writer) (*ServiceBenchResult, e
 		reg = metrics.NewRegistry()
 		transport.WireMetrics(reg)
 	}
-	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes, Faults: spec.Faults, Metrics: reg})
+	sys, err := NewSystem(ds, ClusterSpec{ComputeNodes: spec.ComputeNodes, Wire: spec.Wire, Faults: spec.Faults, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
