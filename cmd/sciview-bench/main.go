@@ -25,6 +25,13 @@
 // commit.
 //
 //	sciview-bench -concurrency 8 -ingest-steps 4
+//
+// With -regret it instead replays the golden SQL corpus under several
+// cluster regimes, timing every query under both forced engines and
+// scoring the planner's static and online-calibrated decisions against
+// the measured winner (decision accuracy and wall-clock regret).
+//
+//	sciview-bench -regret -regret-out BENCH_pr9.json
 package main
 
 import (
@@ -64,8 +71,21 @@ func main() {
 
 		repairInterval = flag.Duration("repair-interval", 0, "run the self-healing repair tier during -concurrency runs, sweeping for under-replicated chunks and catching up restarted nodes at this period (0 disables)")
 		repairBw       = flag.Float64("repair-bw", 0, "repair copy-traffic bandwidth cap in bytes/s (0 = uncapped)")
+
+		regret    = flag.Bool("regret", false, "replay the golden SQL corpus under several cluster regimes, scoring the static and online-calibrated planner layers against the measured-faster engine")
+		regretOut = flag.String("regret-out", "", "write the -regret report as JSON to this path")
 	)
 	flag.Parse()
+	if *regret {
+		if _, err := sciview.RunRegret(sciview.RegretSpec{
+			Quick: *quick,
+			Seed:  *seed,
+			Out:   *regretOut,
+		}, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *concurrency > 0 {
 		if _, err := sciview.RunServiceBench(sciview.ServiceBenchSpec{
 			Concurrency:    *concurrency,

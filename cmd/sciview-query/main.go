@@ -82,8 +82,12 @@ func main() {
 			}
 		}
 		if res.Plan != nil && *explainAll {
-			fmt.Printf("plan: engine=%s forced=%v predicted IJ=%v GH=%v measured=%v tuples=%d\n",
-				res.Plan.Engine, res.Plan.Forced, res.Plan.PredictIJ, res.Plan.PredictGH,
+			calib := "static"
+			if res.Plan.Calibrated {
+				calib = "live"
+			}
+			fmt.Printf("plan: engine=%s forced=%v calib=%s predicted IJ=%v GH=%v measured=%v tuples=%d\n",
+				res.Plan.Engine, res.Plan.Forced, calib, res.Plan.PredictIJ, res.Plan.PredictGH,
 				res.Plan.Measured, res.Plan.Tuples)
 		}
 		if *traceRuns {

@@ -113,8 +113,12 @@ Shell: \engine ij|gh|auto   force or restore engine choice
 			case res.Rows != nil:
 				res.Rows.WriteTo(os.Stdout, *maxRows)
 				if res.Plan != nil {
-					fmt.Printf("(%d rows; engine %s in %v)\n",
-						res.Rows.NumRows(), res.Plan.Engine, res.Plan.Measured)
+					calib := "static"
+					if res.Plan.Calibrated {
+						calib = "live"
+					}
+					fmt.Printf("(%d rows; engine %s, %s constants, in %v)\n",
+						res.Rows.NumRows(), res.Plan.Engine, calib, res.Plan.Measured)
 				} else {
 					fmt.Printf("(%d rows)\n", res.Rows.NumRows())
 				}

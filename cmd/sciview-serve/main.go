@@ -61,6 +61,7 @@ func main() {
 		memBudget   = flag.Int64("mem-budget", 0, "working-set budget across in-flight queries in bytes (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
 		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
+		noCalibrate = flag.Bool("no-calibrate", false, "pin the planner to the static configuration layer instead of folding observed run costs into the cost-model constants")
 		faults      = flag.String("faults", "", "chaos schedule, e.g. crash:storage-1:fetch:20,delay:compute-0:write:2:5ms")
 		wire        = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
 		prefetch    = flag.Int("prefetch", engine.DefaultPrefetch, "default IJ joiner lookahead depth for queries that leave it unset (0 = disabled)")
@@ -117,6 +118,7 @@ func main() {
 		MemoryBudget: *memBudget,
 		MaxQueue:     *maxQueue,
 		Force:        *force,
+		NoCalibrate:  *noCalibrate,
 		Prefetch:     *prefetch,
 		Parallelism:  *parallelism,
 		Metrics:      reg,

@@ -43,6 +43,21 @@ type Params struct {
 	// F parameter satisfies α = γ/F, so WorkFactor = 1/F relative to the
 	// calibrated machine). 0 is treated as 1.
 	WorkFactor int
+
+	// The remaining fields are live-calibration overrides filled in by
+	// Estimator.Apply; zero means "use the configured rates above".
+
+	// XferBw, when > 0, replaces the transfer denominator
+	// min(Net_bw, readIO_bw·n_s) with a measured end-to-end aggregate
+	// transfer bandwidth (storage disk read + transport, compression
+	// included).
+	XferBw float64
+	// SpillWriteBw and SpillReadBw, when > 0, replace writeIO_bw /
+	// readIO_bw in the GH spill terms with measured per-joiner scratch
+	// throughputs, without perturbing the transfer term's storage-disk
+	// rate.
+	SpillWriteBw float64
+	SpillReadBw  float64
 }
 
 // Validate checks parameter sanity.
@@ -109,6 +124,9 @@ func Duration(seconds float64) time.Duration {
 //
 //	T·(RS_R+RS_S) / min(Net_bw(n_s,n_j), readIO_bw·n_s)
 func (p Params) Transfer() float64 {
+	if p.XferBw > 0 {
+		return p.totalBytes() / p.XferBw
+	}
 	net := p.NetBw
 	agg := p.ReadBw * float64(p.Ns)
 	var denom float64
@@ -150,8 +168,8 @@ func (p Params) IJ() Breakdown {
 //	Cpu_GH   = (α_build + α_lookup) · T / n_j
 func (p Params) GH() Breakdown {
 	transfer := p.Transfer()
-	write := div(p.totalBytes(), p.WriteBw*float64(p.Nj))
-	read := div(p.totalBytes(), p.ReadBw*float64(p.Nj))
+	write := div(p.totalBytes(), p.spillWriteBw()*float64(p.Nj))
+	read := div(p.totalBytes(), p.spillReadBw()*float64(p.Nj))
 	build := p.wf() * p.AlphaBuild * float64(p.T) / float64(p.Nj)
 	lookup := p.wf() * p.AlphaLookup * float64(p.T) / float64(p.Nj)
 	return Breakdown{
@@ -169,9 +187,15 @@ func (p Params) GH() Breakdown {
 // joiner's bucket writes and reads, so spill I/O aggregates over one device
 // instead of scaling with n_j.
 func (p Params) GHSharedFS() Breakdown {
-	transfer := div(p.totalBytes(), minPos(p.NetBw, p.ReadBw))
-	write := div(p.totalBytes(), p.WriteBw)
-	read := div(p.totalBytes(), p.ReadBw)
+	transfer := p.sharedTransfer()
+	write := div(p.totalBytes(), p.SpillWriteBw)
+	if p.SpillWriteBw <= 0 {
+		write = div(p.totalBytes(), p.WriteBw)
+	}
+	read := div(p.totalBytes(), p.SpillReadBw)
+	if p.SpillReadBw <= 0 {
+		read = div(p.totalBytes(), p.ReadBw)
+	}
 	build := p.wf() * p.AlphaBuild * float64(p.T) / float64(p.Nj)
 	lookup := p.wf() * p.AlphaLookup * float64(p.T) / float64(p.Nj)
 	return Breakdown{
@@ -187,7 +211,7 @@ func (p Params) GHSharedFS() Breakdown {
 // IJSharedFS predicts IJ on the shared-server configuration: only the
 // transfer term changes (one server disk).
 func (p Params) IJSharedFS() Breakdown {
-	transfer := div(p.totalBytes(), minPos(p.NetBw, p.ReadBw))
+	transfer := p.sharedTransfer()
 	build := p.wf() * p.AlphaBuild * float64(p.T) / float64(p.Nj)
 	lookup := p.wf() * p.AlphaLookup * float64(p.Ne) * float64(p.CS) / float64(p.Nj)
 	return Breakdown{
@@ -196,6 +220,31 @@ func (p Params) IJSharedFS() Breakdown {
 		Lookup:   lookup,
 		Total:    transfer + build + lookup,
 	}
+}
+
+// sharedTransfer is the single-shared-server transfer term, honoring a
+// calibrated end-to-end bandwidth when one is set.
+func (p Params) sharedTransfer() float64 {
+	if p.XferBw > 0 {
+		return p.totalBytes() / p.XferBw
+	}
+	return div(p.totalBytes(), minPos(p.NetBw, p.ReadBw))
+}
+
+// spillWriteBw and spillReadBw pick the calibrated scratch rates when
+// available, the configured disk rates otherwise.
+func (p Params) spillWriteBw() float64 {
+	if p.SpillWriteBw > 0 {
+		return p.SpillWriteBw
+	}
+	return p.WriteBw
+}
+
+func (p Params) spillReadBw() float64 {
+	if p.SpillReadBw > 0 {
+		return p.SpillReadBw
+	}
+	return p.ReadBw
 }
 
 func minPos(a, b float64) float64 {

@@ -132,6 +132,126 @@ type Progress struct {
 	Total  atomic.Int64
 }
 
+// Observed is the run's measured resource costs, the feedback the online
+// cost-model calibration layer consumes (costmodel.Estimator): how many
+// bytes actually moved storage→compute and how long the wire was busy,
+// how many hash build/probe operations ran and their wall-clock cost
+// (including the emulated CPU charge), and GH's scratch spill traffic.
+// Seconds are summed per-stream busy time: with n concurrent fetchers a
+// run accumulates n× wall time, so Bytes/Seconds is the *per-stream*
+// effective rate, which is what the models' aggregate terms scale up by
+// node count. All fields are zero for runs that skipped the stage.
+type Observed struct {
+	// FetchBytes/FetchSeconds cover storage→compute transfers: decoded
+	// payload bytes against wire-busy seconds (disk read + transport), so
+	// compression shows up as higher effective bandwidth.
+	FetchBytes   int64
+	FetchSeconds float64
+	// BuildTuples/ProbeTuples count hash operations (rows × WorkFactor);
+	// Seconds span the kernel plus the modeled-CPU charge, so the derived
+	// α constants track the emulated processor, not just the host.
+	BuildTuples  int64
+	BuildSeconds float64
+	ProbeTuples  int64
+	ProbeSeconds float64
+	// Spill{Write,Read} cover GH's scratch bucket traffic per joiner.
+	SpillWriteBytes   int64
+	SpillWriteSeconds float64
+	SpillReadBytes    int64
+	SpillReadSeconds  float64
+}
+
+// Merge accumulates another run's observations (regret replays fold the
+// forced runs' measurements into one feedback record).
+func (o *Observed) Merge(b Observed) {
+	o.FetchBytes += b.FetchBytes
+	o.FetchSeconds += b.FetchSeconds
+	o.BuildTuples += b.BuildTuples
+	o.BuildSeconds += b.BuildSeconds
+	o.ProbeTuples += b.ProbeTuples
+	o.ProbeSeconds += b.ProbeSeconds
+	o.SpillWriteBytes += b.SpillWriteBytes
+	o.SpillWriteSeconds += b.SpillWriteSeconds
+	o.SpillReadBytes += b.SpillReadBytes
+	o.SpillReadSeconds += b.SpillReadSeconds
+}
+
+// ObsCollector accumulates Observed fields from the engines' concurrent
+// workers (atomically, nanosecond-granular). A nil collector is a valid
+// no-op, so call sites stay unconditional.
+type ObsCollector struct {
+	fetchBytes, fetchNanos           atomic.Int64
+	buildTuples, buildNanos          atomic.Int64
+	probeTuples, probeNanos          atomic.Int64
+	spillWriteBytes, spillWriteNanos atomic.Int64
+	spillReadBytes, spillReadNanos   atomic.Int64
+}
+
+// Fetch records one storage→compute transfer.
+func (o *ObsCollector) Fetch(bytes int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.fetchBytes.Add(bytes)
+	o.fetchNanos.Add(int64(d))
+}
+
+// Build records one hash-table build of ops operations.
+func (o *ObsCollector) Build(ops int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.buildTuples.Add(ops)
+	o.buildNanos.Add(int64(d))
+}
+
+// Probe records one probe pass of ops operations.
+func (o *ObsCollector) Probe(ops int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.probeTuples.Add(ops)
+	o.probeNanos.Add(int64(d))
+}
+
+// SpillWrite records one scratch bucket write.
+func (o *ObsCollector) SpillWrite(bytes int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.spillWriteBytes.Add(bytes)
+	o.spillWriteNanos.Add(int64(d))
+}
+
+// SpillRead records one scratch bucket read.
+func (o *ObsCollector) SpillRead(bytes int64, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.spillReadBytes.Add(bytes)
+	o.spillReadNanos.Add(int64(d))
+}
+
+// Snapshot converts the accumulated counters to an Observed record.
+func (o *ObsCollector) Snapshot() Observed {
+	if o == nil {
+		return Observed{}
+	}
+	const ns = float64(time.Second)
+	return Observed{
+		FetchBytes:        o.fetchBytes.Load(),
+		FetchSeconds:      float64(o.fetchNanos.Load()) / ns,
+		BuildTuples:       o.buildTuples.Load(),
+		BuildSeconds:      float64(o.buildNanos.Load()) / ns,
+		ProbeTuples:       o.probeTuples.Load(),
+		ProbeSeconds:      float64(o.probeNanos.Load()) / ns,
+		SpillWriteBytes:   o.spillWriteBytes.Load(),
+		SpillWriteSeconds: float64(o.spillWriteNanos.Load()) / ns,
+		SpillReadBytes:    o.spillReadBytes.Load(),
+		SpillReadSeconds:  float64(o.spillReadNanos.Load()) / ns,
+	}
+}
+
 // OpStat is one operator's accounting in a streaming plan: rows/batches/
 // bytes that crossed its Next boundary and the wall-clock time spent
 // inside it. PeakBytes is operator-specific resident memory (e.g. the
@@ -205,6 +325,9 @@ type Result struct {
 	// Operators holds per-operator statistics when the query ran through
 	// a streaming plan (internal/plan); nil for direct engine runs.
 	Operators []OpStat
+	// Observed is the run's measured resource costs — the feedback signal
+	// the planner's online calibration layer folds into its constants.
+	Observed Observed
 }
 
 // EffectiveProject returns the pushdown list the engines apply to each

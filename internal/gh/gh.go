@@ -157,6 +157,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	}
 
 	run := runSeq.Add(1)
+	obs := &engine.ObsCollector{}
 	nj := len(cl.Compute)
 	// One partition group per h1 class: all records with h1(key)%nj == g
 	// belong to group g, held by one (reassignable) executor node. The
@@ -165,13 +166,13 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	groups := make([]*group, nj)
 	for g := 0; g < nj; g++ {
 		groups[g] = &group{g: g, exec: g}
-		groups[g].mount(cl, run, leftSchema, rightSchema, buckets, flushRows, req.Trace)
+		groups[g].mount(cl, run, leftSchema, rightSchema, buckets, flushRows, req.Trace, obs)
 	}
 	sp := &scanParams{
 		leftTable: req.LeftTable, rightTable: req.RightTable,
 		leftFilter: leftFilter, rightFilter: rightFilter,
 		project: project, joinAttrs: req.JoinAttrs,
-		batchRows: batchRows, nj: nj, rec: req.Trace,
+		batchRows: batchRows, nj: nj, rec: req.Trace, obs: obs,
 	}
 
 	// Phase 1: partition the left table, then the right table. A compute
@@ -265,6 +266,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	res.Tuples = res.Join.Matches
 	res.UnitsJoined = prog.Joined.Load()
 	res.UnitsTotal = prog.Total.Load()
+	res.Observed = obs.Snapshot()
 	if req.Collect && req.Sink == nil {
 		res.Collected = results
 	}
@@ -312,13 +314,14 @@ type group struct {
 // mount installs a fresh partitioner pair for the group's current
 // (exec, attempt) on the executor's scratch disk.
 func (grp *group) mount(cl *cluster.Cluster, run int64, leftSchema, rightSchema tuple.Schema,
-	buckets, flushRows int, rec *trace.Recorder) {
+	buckets, flushRows int, rec *trace.Recorder, obs *engine.ObsCollector) {
 	scratch := cl.Compute[grp.exec].Scratch
 	node := fmt.Sprintf("joiner-%d", grp.exec)
 	grp.lp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "L"), leftSchema, buckets, flushRows)
 	grp.rp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "R"), rightSchema, buckets, flushRows)
 	grp.lp.node, grp.rp.node = node, node
 	grp.lp.rec, grp.rp.rec = rec, rec
+	grp.lp.obs, grp.rp.obs = obs, obs
 }
 
 func groupPrefix(run int64, g, attempt int, side string) string {
@@ -369,6 +372,7 @@ type scanParams struct {
 	batchRows               int
 	nj                      int // h1's range — fixed for the run, even when rebuilding one group
 	rec                     *trace.Recorder
+	obs                     *engine.ObsCollector
 }
 
 func (sp *scanParams) table(sd side) (string, metadata.Range) {
@@ -426,6 +430,11 @@ func (e *Engine) scanTable(ctx context.Context, cl *cluster.Cluster, sd side, gr
 					return
 				}
 				src = served
+				// The storage-side disk read is the first leg of GH's
+				// transfer; shipBatch adds the network leg's seconds (with
+				// no extra bytes), so the calibrated per-stream rate prices
+				// the full scan→ship pipeline.
+				sp.obs.Fetch(int64(st.Bytes()), time.Since(fetchStart))
 				sp.rec.Span(fmt.Sprintf("storage-%d", served), trace.KindFetch, d.ID().String(), fetchStart,
 					int64(st.Bytes()), int64(st.NumRows()))
 				if keyIdxs == nil {
@@ -497,6 +506,7 @@ func (e *Engine) shipBatch(cl *cluster.Cluster, src int, grp *group, sd side,
 		size = int64(colenc.WireSize(batch))
 	}
 	cl.Ship(src, grp.exec, size)
+	part.obs.Fetch(0, time.Since(start))
 	rec.Span(fmt.Sprintf("storage-%d", src), trace.KindShip, part.node, start,
 		size, int64(batch.NumRows()))
 	if err := part.add(batch, keyIdxs); err != nil {
@@ -565,7 +575,7 @@ func (e *Engine) rebuildGroup(ctx context.Context, cl *cluster.Cluster, grp *gro
 	grp.exec = next
 	grp.attempt++
 	grp.lost.Store(false)
-	grp.mount(cl, run, leftSchema, rightSchema, buckets, flushRows, sp.rec)
+	grp.mount(cl, run, leftSchema, rightSchema, buckets, flushRows, sp.rec, sp.obs)
 	cl.Health.Rebuilds.Add(1)
 	// h1 classes are positional: scanTable indexes groups[g], so the slice
 	// spans all nj classes even though only grp.g receives rows.
@@ -613,6 +623,7 @@ type partitioner struct {
 	prefix    string
 	node      string
 	rec       *trace.Recorder
+	obs       *engine.ObsCollector
 	schema    tuple.Schema
 	buckets   []*tuple.SubTable
 	rows      []int64 // total rows spilled per bucket (for sizing checks)
@@ -668,6 +679,7 @@ func (p *partitioner) spill(k int) error {
 		tuple.PutBuf(data)
 		return err
 	}
+	p.obs.SpillWrite(int64(len(data)), time.Since(start))
 	p.rec.Span(p.node, trace.KindSpill, p.object(k), start, int64(len(data)), int64(b.NumRows()))
 	tuple.PutBuf(data) // Append copied; recycle the encode buffer
 	p.rows[k] += int64(b.NumRows())
@@ -701,6 +713,7 @@ func (p *partitioner) readBucket(k int) (*tuple.SubTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.obs.SpillRead(int64(len(data)), time.Since(start))
 	p.rec.Span(p.node, trace.KindBucketRead, p.object(k), start, int64(len(data)), int64(st.NumRows()))
 	return st, nil
 }
@@ -816,6 +829,7 @@ func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label st
 		return err
 	}
 	cn.SpendCPU(int64(left.NumRows()) * int64(wf))
+	lp.obs.Build(int64(left.NumRows())*int64(wf), time.Since(buildStart))
 	req.Trace.Span(lp.node, trace.KindBuild, label, buildStart,
 		int64(left.Bytes()), int64(left.NumRows()))
 	probeStart := time.Now()
@@ -823,6 +837,7 @@ func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label st
 		return err
 	}
 	cn.SpendCPU(int64(right.NumRows()) * int64(wf))
+	lp.obs.Probe(int64(right.NumRows())*int64(wf), time.Since(probeStart))
 	req.Trace.Span(lp.node, trace.KindProbe, label, probeStart,
 		int64(right.Bytes()), int64(right.NumRows()))
 	return nil
@@ -854,6 +869,7 @@ func roundTrip(p *partitioner, label string, st *tuple.SubTable) (*tuple.SubTabl
 		tuple.PutBuf(data)
 		return nil, err
 	}
+	p.obs.SpillWrite(int64(len(data)), time.Since(start))
 	p.rec.Span(p.node, trace.KindSpill, name, start, int64(len(data)), int64(st.NumRows()))
 	tuple.PutBuf(data)
 	start = time.Now()
@@ -865,6 +881,7 @@ func roundTrip(p *partitioner, label string, st *tuple.SubTable) (*tuple.SubTabl
 	if err != nil {
 		return nil, err
 	}
+	p.obs.SpillRead(int64(len(back)), time.Since(start))
 	p.rec.Span(p.node, trace.KindBucketRead, name, start, int64(len(back)), int64(out.NumRows()))
 	if err := p.disk.Delete(name); err != nil {
 		return nil, err

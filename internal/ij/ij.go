@@ -164,6 +164,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	outSchema := engine.ProjectedSchema(leftDef.Schema, project).
 		JoinResult(engine.ProjectedSchema(rightDef.Schema, project), req.JoinAttrs, "r_")
 	var stats hashjoin.Stats
+	obs := &engine.ObsCollector{}
 	results := make([]*tuple.SubTable, nj)
 	errs := make([]error, nj)
 	var wg sync.WaitGroup
@@ -172,7 +173,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		go func(slot int) {
 			defer wg.Done()
 			results[slot], errs[slot] = e.runSlot(ctx, cl, slot, schedules[slot], req, wf,
-				leftFilter, rightFilter, project, outSchema, &stats)
+				leftFilter, rightFilter, project, outSchema, &stats, obs)
 		}(slot)
 	}
 	wg.Wait()
@@ -197,6 +198,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	res.Tuples = res.Join.Matches
 	res.UnitsJoined = prog.Joined.Load()
 	res.UnitsTotal = prog.Total.Load()
+	res.Observed = obs.Snapshot()
 	for _, cn := range cl.Compute {
 		s := cn.Cache.Stats()
 		res.Cache.Hits += s.Hits
@@ -282,7 +284,7 @@ func (e *Engine) buildSchedules(comps []congraph.Component, leftDescs, rightDesc
 // recovered output is byte-identical to an undisturbed run.
 func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sched []edge, req engine.Request,
 	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
-	stats *hashjoin.Stats) (*tuple.SubTable, error) {
+	stats *hashjoin.Stats, obs *engine.ObsCollector) (*tuple.SubTable, error) {
 
 	exec := slot
 	for {
@@ -295,7 +297,7 @@ func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sch
 		}
 		var local hashjoin.Stats
 		out, err := e.runJoiner(ctx, cl, slot, exec, sched, req, wf,
-			leftFilter, rightFilter, project, outSchema, &local)
+			leftFilter, rightFilter, project, outSchema, &local, obs)
 		if err == nil {
 			mergeStats(stats, &local)
 			if req.Sink != nil {
@@ -355,7 +357,7 @@ func mergeStats(dst, src *hashjoin.Stats) {
 // reaps every in-flight prefetch before the slot is re-assigned.
 func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec int, sched []edge, req engine.Request,
 	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
-	stats *hashjoin.Stats) (*tuple.SubTable, error) {
+	stats *hashjoin.Stats, obs *engine.ObsCollector) (*tuple.SubTable, error) {
 
 	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
 	cn := cl.Compute[exec]
@@ -395,7 +397,7 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		go func() {
 			defer pwg.Done()
 			start := time.Now()
-			f, err := e.flightFetch(pctx, cl, exec, node, key, id, filter, project, req.Trace)
+			f, err := e.flightFetch(pctx, cl, exec, node, key, id, filter, project, req.Trace, obs)
 			if err != nil {
 				return
 			}
@@ -425,7 +427,7 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 				prefetch(sched[i+d].right, rightSig, &rightFilter)
 			}
 		}
-		left, err := e.cachedFetch(ctx, cl, exec, node, ed.left, leftSig, &leftFilter, project, req.Trace)
+		left, err := e.cachedFetch(ctx, cl, exec, node, ed.left, leftSig, &leftFilter, project, req.Trace, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -437,10 +439,11 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 			}
 			htLeft, haveHT = ed.left, true
 			cn.SpendCPU(int64(left.NumRows()) * int64(wf))
+			obs.Build(int64(left.NumRows())*int64(wf), time.Since(start))
 			req.Trace.Span(node, trace.KindBuild, ed.left.String(), start,
 				int64(left.Bytes()), int64(left.NumRows()))
 		}
-		right, err := e.cachedFetch(ctx, cl, exec, node, ed.right, rightSig, &rightFilter, project, req.Trace)
+		right, err := e.cachedFetch(ctx, cl, exec, node, ed.right, rightSig, &rightFilter, project, req.Trace, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -449,6 +452,7 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 			return nil, err
 		}
 		cn.SpendCPU(int64(right.NumRows()) * int64(wf))
+		obs.Probe(int64(right.NumRows())*int64(wf), time.Since(start))
 		req.Trace.Span(node, trace.KindProbe, ed.right.String(), start,
 			int64(right.Bytes()), int64(right.NumRows()))
 		if req.Progress != nil {
@@ -478,13 +482,13 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 // cache holds wire-form carriers (compressed under the colenc codec);
 // the decode back to rows here is exact, so results never depend on the
 // negotiated format.
-func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, id tuple.ID, sig uint64, filter *metadata.Range, project []string, rec *trace.Recorder) (*tuple.SubTable, error) {
+func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, id tuple.ID, sig uint64, filter *metadata.Range, project []string, rec *trace.Recorder, obs *engine.ObsCollector) (*tuple.SubTable, error) {
 	cn := cl.Compute[j]
 	key := cluster.FetchKey{ID: id, Sig: sig}
 	if f, ok := cn.Cache.Get(key); ok {
 		return f.SubTable()
 	}
-	f, err := e.flightFetch(ctx, cl, j, node, key, id, filter, project, rec)
+	f, err := e.flightFetch(ctx, cl, j, node, key, id, filter, project, rec, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +499,7 @@ func (e *Engine) cachedFetch(ctx context.Context, cl *cluster.Cluster, j int, no
 // the node's Flight group for key and, as leader, fetches from the owning
 // BDS and populates the cache. Prefetchers enter here directly so their
 // speculative lookups never touch the cache's hit/miss counters.
-func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, key cluster.FetchKey, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder) (*cluster.Fetched, error) {
+func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, node string, key cluster.FetchKey, id tuple.ID, filter *metadata.Range, project []string, rec *trace.Recorder, obs *engine.ObsCollector) (*cluster.Fetched, error) {
 	cn := cl.Compute[j]
 	f, _, err := cn.Flight.Do(ctx, key, func() (*cluster.Fetched, error) {
 		// Another query may have populated the cache while this caller
@@ -513,6 +517,12 @@ func (e *Engine) flightFetch(ctx context.Context, cl *cluster.Cluster, j int, no
 		if err != nil {
 			return nil, err
 		}
+		// Only the singleflight leader reaches here, so this times the
+		// true wire transfer once per fetch: cache hits and piggybacked
+		// followers never dilute the calibrated bandwidth. Decoded bytes
+		// over wire-busy time makes compression show up as a faster
+		// effective link, which is exactly how the transfer term prices it.
+		obs.Fetch(int64(f.DecodedBytes()), time.Since(start))
 		rec.Span(node, trace.KindFetch, id.String(), start, int64(f.DecodedBytes()), int64(f.NumRows()))
 		// Charge the stored (possibly compressed) size, not the decoded
 		// record size: admission and eviction track resident reality, and

@@ -250,6 +250,7 @@ func (m *MaterializedView) joinTerm(lw, rw metadata.VersionWindow, target int64)
 	jn, err := plan.NewJoin(eng, m.cfg.Cluster, v.Name, req, &plan.JoinCost{
 		Chosen: dec.Chosen, Forced: dec.Forced, Params: dec.Params,
 		PredictIJ: dec.PredictIJ, PredictGH: dec.PredictGH,
+		Calibrated: dec.Calibrated, Constants: dec.Constants,
 	})
 	if err != nil {
 		return nil, err

@@ -260,6 +260,11 @@ type JoinCost struct {
 	Params    costmodel.Params
 	PredictIJ costmodel.Breakdown
 	PredictGH costmodel.Breakdown
+	// Calibrated reports whether live-calibrated constants displaced the
+	// configured ones in Params; Constants is the estimator snapshot the
+	// decision consulted.
+	Calibrated bool
+	Constants  costmodel.Constants
 }
 
 // JoinNode runs the view's equi-join through the chosen engine, streaming
@@ -345,18 +350,25 @@ func (n *JoinNode) describe() string {
 }
 
 // annotations are the extra EXPLAIN lines under the join: the cost-model
-// decision and both predicted breakdowns.
+// decision with its constant provenance (calibrated vs static), both
+// predicted breakdowns, and — once the calibration layer is live — the
+// constants the prediction used.
 func (n *JoinNode) annotations() []string {
 	c := n.Cost
 	if c == nil {
 		return nil
 	}
-	decision := fmt.Sprintf("cost: ij %v vs gh %v → %s",
-		costmodel.Duration(c.PredictIJ.Total), costmodel.Duration(c.PredictGH.Total), c.Chosen)
+	calib := "static"
+	if c.Calibrated {
+		calib = "live"
+	}
+	decision := fmt.Sprintf("cost: ij=%v gh=%v chose=%s calib=%s",
+		costmodel.Duration(c.PredictIJ.Total), costmodel.Duration(c.PredictGH.Total),
+		c.Chosen, calib)
 	if c.Forced {
 		decision += " (forced)"
 	}
-	return []string{
+	lines := []string{
 		decision,
 		fmt.Sprintf("ij: transfer %v build %v lookup %v",
 			costmodel.Duration(c.PredictIJ.Transfer), costmodel.Duration(c.PredictIJ.Build),
@@ -366,6 +378,10 @@ func (n *JoinNode) annotations() []string {
 			costmodel.Duration(c.PredictGH.Read), costmodel.Duration(c.PredictGH.Build),
 			costmodel.Duration(c.PredictGH.Lookup)),
 	}
+	if c.Calibrated {
+		lines = append(lines, "constants: "+c.Constants.String())
+	}
+	return lines
 }
 
 // ---------------------------------------------------------------------

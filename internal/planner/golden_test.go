@@ -111,8 +111,13 @@ func goldenRows(st *tuple.SubTable) []string {
 // under the query's comparison mode for the engine that actually ran.
 func compareGolden(t *testing.T, q goldenQuery, want, got *Output) {
 	t.Helper()
+	// Under the adaptive planner the two runs may legitimately choose
+	// different engines (the first run's observed costs recalibrate the
+	// model before the second), so the mode must relax whenever EITHER
+	// side ran GH: IJ order is deterministic but differs from GH's.
 	mode := ghExact
-	if want.Decision != nil && want.Decision.Chosen == "gh" {
+	if (want.Decision != nil && want.Decision.Chosen == "gh") ||
+		(got.Decision != nil && got.Decision.Chosen == "gh") {
 		mode = q.gh
 	}
 	if mode == ghSkip {
@@ -348,7 +353,7 @@ func TestExplainStatement(t *testing.T) {
 		t.Error("EXPLAIN executed the query")
 	}
 	for _, wantSub := range []string{
-		"Limit(5)", "Sort(wp)", "Project(wp)", "Join[", "cost: ij ", "Scan(T1)", "Scan(T2)", "project[",
+		"Limit(5)", "Sort(wp)", "Project(wp)", "Join[", "cost: ij=", "chose=", "calib=", "Scan(T1)", "Scan(T2)", "project[",
 	} {
 		if !strings.Contains(out.Explain, wantSub) {
 			t.Errorf("explain output missing %q:\n%s", wantSub, out.Explain)

@@ -80,6 +80,7 @@ func (ex *Executor) lowerSelect(s *query.Select) (*Lowered, error) {
 		jn, err := plan.NewJoin(eng, ex.Cluster, v.Name, req, &plan.JoinCost{
 			Chosen: dec.Chosen, Forced: dec.Forced, Params: dec.Params,
 			PredictIJ: dec.PredictIJ, PredictGH: dec.PredictGH,
+			Calibrated: dec.Calibrated, Constants: dec.Constants,
 		})
 		if err != nil {
 			return nil, err
@@ -134,5 +135,8 @@ func (ex *Executor) ExecLowered(ctx context.Context, l *Lowered) (*Output, error
 	if err != nil {
 		return nil, err
 	}
+	// Feed the run's measured costs back into the planner's calibration
+	// layer, closing the decide→run→observe loop for the SQL path.
+	ex.Planner.Observe(res)
 	return &Output{Rows: rows, Result: res, Decision: l.Decision}, nil
 }

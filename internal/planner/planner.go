@@ -21,29 +21,44 @@ import (
 
 // Planner is the Query Planning Service.
 type Planner struct {
-	// AlphaBuild and AlphaLookup are the calibrated CPU constants in
-	// seconds/tuple. Zero values trigger a one-time calibration.
+	// AlphaBuild and AlphaLookup are the host-calibrated CPU constants in
+	// seconds/tuple — the static layer's starting point. Zero values
+	// trigger a one-time calibration.
 	AlphaBuild  float64
 	AlphaLookup float64
 	// Force overrides the cost-model decision: "", "ij" or "gh".
 	Force string
+	// Est is the layered cost estimator: Decide derives static Params as
+	// always, then lets Est substitute live-calibrated constants once
+	// enough runs have been observed (Observe feeds it). New installs
+	// one; set nil to pin decisions to the static configuration layer.
+	Est *costmodel.Estimator
 
 	ijEngine engine.Engine
 	ghEngine engine.Engine
 }
 
-// New returns a planner with lazily calibrated CPU constants.
+// New returns a planner with lazily calibrated CPU constants and a fresh
+// online calibration layer.
 func New() *Planner {
-	return &Planner{ijEngine: ij.New(), ghEngine: gh.New()}
+	return &Planner{Est: costmodel.NewEstimator(), ijEngine: ij.New(), ghEngine: gh.New()}
 }
 
-// Decision records why an engine was chosen.
+// Decision records why an engine was chosen. Params holds the constants
+// the predictions actually used (post-calibration when the estimator has
+// graduated signals); Constants and Calibrated record the provenance.
 type Decision struct {
 	Params    costmodel.Params
 	PredictIJ costmodel.Breakdown
 	PredictGH costmodel.Breakdown
 	Chosen    string
 	Forced    bool
+	// Calibrated reports whether any live-calibrated constant displaced
+	// its static counterpart in Params.
+	Calibrated bool
+	// Constants is the estimator snapshot the decision consulted (zero
+	// when the planner has no estimator).
+	Constants costmodel.Constants
 }
 
 // calibrate fills the CPU constants if unset.
@@ -122,13 +137,23 @@ func (p *Planner) ParamsFor(cl *cluster.Cluster, req engine.Request) (costmodel.
 	}, nil
 }
 
-// Choose predicts both engines and picks the faster one (honoring Force).
-func (p *Planner) Choose(cl *cluster.Cluster, req engine.Request) (engine.Engine, *Decision, error) {
+// Decide derives the static Params, applies the estimator's graduated
+// live constants, predicts both engines from the resulting model, and
+// picks the faster one (honoring Force). The returned Decision carries
+// full provenance — the applied Params, both predictions, and whether
+// calibrated constants displaced configured ones — and every decision is
+// counted in the estimator's decision metric.
+func (p *Planner) Decide(cl *cluster.Cluster, req engine.Request) (engine.Engine, *Decision, error) {
 	params, err := p.ParamsFor(cl, req)
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &Decision{Params: params}
+	d := &Decision{}
+	if p.Est != nil {
+		params, d.Constants = p.Est.Apply(params)
+		d.Calibrated = d.Constants.AnyLive()
+	}
+	d.Params = params
 	if cl.Config.SharedFS {
 		d.PredictIJ = params.IJSharedFS()
 		d.PredictGH = params.GHSharedFS()
@@ -136,25 +161,56 @@ func (p *Planner) Choose(cl *cluster.Cluster, req engine.Request) (engine.Engine
 		d.PredictIJ = params.IJ()
 		d.PredictGH = params.GH()
 	}
+	var eng engine.Engine
 	switch p.Force {
 	case "ij":
 		d.Chosen, d.Forced = "ij", true
-		return p.ijEngine, d, nil
+		eng = p.ijEngine
 	case "gh":
 		d.Chosen, d.Forced = "gh", true
-		return p.ghEngine, d, nil
+		eng = p.ghEngine
 	case "":
+		// Ties (e.g. unlimited I/O makes the spill penalty vanish) go to
+		// IJ, which never does extra work the model cannot see.
+		if d.PredictIJ.Total <= d.PredictGH.Total {
+			d.Chosen, eng = "ij", p.ijEngine
+		} else {
+			d.Chosen, eng = "gh", p.ghEngine
+		}
 	default:
 		return nil, nil, fmt.Errorf("planner: unknown forced engine %q", p.Force)
 	}
-	// Ties (e.g. unlimited I/O makes the spill penalty vanish) go to IJ,
-	// which never does extra work the model cannot see.
-	if d.PredictIJ.Total <= d.PredictGH.Total {
-		d.Chosen = "ij"
-		return p.ijEngine, d, nil
+	p.Est.RecordDecision(d.Chosen, d.Forced, d.Calibrated)
+	return eng, d, nil
+}
+
+// Choose is Decide under its historical name, kept for the existing call
+// sites.
+func (p *Planner) Choose(cl *cluster.Cluster, req engine.Request) (engine.Engine, *Decision, error) {
+	return p.Decide(cl, req)
+}
+
+// Observe closes the loop: it feeds a finished run's measured costs into
+// the estimator's calibration layer. Safe on nil results, nil planners,
+// and planners without an estimator.
+func (p *Planner) Observe(res *engine.Result) {
+	if p == nil || p.Est == nil || res == nil {
+		return
 	}
-	d.Chosen = "gh"
-	return p.ghEngine, d, nil
+	o := res.Observed
+	p.Est.Observe(costmodel.Observation{
+		Engine:            res.Engine,
+		FetchBytes:        o.FetchBytes,
+		FetchSeconds:      o.FetchSeconds,
+		BuildTuples:       o.BuildTuples,
+		BuildSeconds:      o.BuildSeconds,
+		ProbeTuples:       o.ProbeTuples,
+		ProbeSeconds:      o.ProbeSeconds,
+		SpillWriteBytes:   o.SpillWriteBytes,
+		SpillWriteSeconds: o.SpillWriteSeconds,
+		SpillReadBytes:    o.SpillReadBytes,
+		SpillReadSeconds:  o.SpillReadSeconds,
+	})
 }
 
 // Run chooses an engine and executes the request.
@@ -164,7 +220,7 @@ func (p *Planner) Run(cl *cluster.Cluster, req engine.Request) (*engine.Result, 
 
 // RunContext is Run observing ctx through the chosen engine.
 func (p *Planner) RunContext(ctx context.Context, cl *cluster.Cluster, req engine.Request) (*engine.Result, *Decision, error) {
-	eng, d, err := p.Choose(cl, req)
+	eng, d, err := p.Decide(cl, req)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -172,6 +228,7 @@ func (p *Planner) RunContext(ctx context.Context, cl *cluster.Cluster, req engin
 	if err != nil {
 		return nil, nil, err
 	}
+	p.Observe(res)
 	return res, d, nil
 }
 

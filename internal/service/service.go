@@ -57,12 +57,21 @@ type Config struct {
 	// MaxQueue bounds waiting submissions; excess ones fail fast with
 	// ErrQueueFull (0 = unlimited).
 	MaxQueue int
-	// Force overrides the planner's engine choice: "", "ij" or "gh".
+	// Force is an explicit override of the planner's per-query cost-model
+	// engine choice: "ij" or "gh" pins every submission to that engine.
+	// The default "" lets the Estimator decide per query — IJ vs GH from
+	// the Section 5 models under the current (online-calibrated)
+	// constants. Leave it empty unless an experiment needs a fixed engine.
 	Force string
-	// AlphaBuild and AlphaLookup preset the cost-model CPU constants;
-	// zero triggers a one-time calibration in New.
+	// AlphaBuild and AlphaLookup preset the static layer's cost-model CPU
+	// constants; zero triggers a one-time calibration in New. The online
+	// calibration layer refines them from observed runs either way.
 	AlphaBuild  float64
 	AlphaLookup float64
+	// NoCalibrate pins the planner to the static configuration layer:
+	// observed run costs are not folded back and decisions always use the
+	// configured simio rates. Default false (adaptive planning on).
+	NoCalibrate bool
 	// Prefetch and Parallelism are server-side defaults for the matching
 	// engine.Request knobs, applied to submitted queries that leave them
 	// zero (a query may still set its own values).
@@ -181,6 +190,11 @@ func New(cl *cluster.Cluster, cfg Config) *Service {
 	pl.AlphaBuild = cfg.AlphaBuild
 	pl.AlphaLookup = cfg.AlphaLookup
 	pl.Force = cfg.Force
+	if cfg.NoCalibrate {
+		pl.Est = nil
+	} else {
+		pl.Est.AttachMetrics(cfg.Metrics)
+	}
 	s := &Service{cl: cl, pl: pl, cfg: cfg}
 	s.drained = sync.NewCond(&s.mu)
 	// Nil-safe: with cfg.Metrics == nil every handle is a no-op.
@@ -221,7 +235,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	if q.Req.AsOf == 0 {
 		q.Req.AsOf = s.cl.Catalog.Version()
 	}
-	eng, dec, err := s.pl.Choose(s.cl, q.Req)
+	eng, dec, err := s.pl.Decide(s.cl, q.Req)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +261,10 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Close the loop: fold the run's measured costs into the calibration
+	// layer so the next decision tracks the hardware, not the config.
+	// (SubmitSQL feeds the same estimator through ExecLowered.)
+	s.pl.Observe(res)
 	if recovered {
 		s.mu.Lock()
 		s.stats.Recovered++

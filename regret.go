@@ -1,0 +1,303 @@
+package sciview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The regret harness closes the evaluation loop on the adaptive planner:
+// it replays a golden SQL corpus under several cluster regimes, measures
+// every query under BOTH engines on dedicated forced systems, and scores
+// the planner's choices (static configuration layer vs the online-
+// calibrated layer) against the measured-faster engine. Accuracy is the
+// fraction of decisions that picked the faster engine; regret is the
+// wall-clock time lost when they didn't.
+
+// RegretSpec configures a regret replay.
+type RegretSpec struct {
+	// Quick trims the replay to one scenario and a short corpus (CI smoke).
+	Quick bool
+	// Seed overrides the dataset seed (default 2006).
+	Seed int64
+	// Out, when non-empty, also writes the report as indented JSON to this
+	// path.
+	Out string
+}
+
+// RegretQuery is one scored corpus query.
+type RegretQuery struct {
+	Scenario string `json:"scenario"`
+	SQL      string `json:"sql"`
+	// IJSeconds and GHSeconds are the engine times measured on the forced
+	// reference systems; Faster names the measured winner.
+	IJSeconds float64 `json:"ij_seconds"`
+	GHSeconds float64 `json:"gh_seconds"`
+	Faster    string  `json:"faster"`
+	// Static and Adaptive are the engines the two planner layers chose;
+	// AdaptiveCalibrated reports whether live constants actually displaced
+	// the configuration for the adaptive decision.
+	Static             string `json:"static"`
+	Adaptive           string `json:"adaptive"`
+	AdaptiveCalibrated bool   `json:"adaptive_calibrated"`
+	// StaticCorrect / AdaptiveCorrect: the choice was the measured-faster
+	// engine, or within the tie band of it (no meaningful regret).
+	StaticCorrect  bool `json:"static_correct"`
+	AdaptiveCorrect bool `json:"adaptive_correct"`
+	// StaticRegret / AdaptiveRegret are seconds lost versus the faster
+	// engine (zero when correct).
+	StaticRegret   float64 `json:"static_regret_seconds"`
+	AdaptiveRegret float64 `json:"adaptive_regret_seconds"`
+}
+
+// RegretReport is the replay's scorecard.
+type RegretReport struct {
+	Queries []RegretQuery `json:"queries"`
+	Total   int           `json:"total"`
+	// StaticCorrect / StaticAccuracy score the static configuration layer;
+	// the Adaptive fields score the online-calibrated estimator.
+	StaticCorrect    int     `json:"static_correct"`
+	StaticAccuracy   float64 `json:"static_accuracy"`
+	AdaptiveCorrect  int     `json:"adaptive_correct"`
+	AdaptiveAccuracy float64 `json:"adaptive_accuracy"`
+	// Total regret (seconds) accumulated by each layer, and the oracle's
+	// total time (always the faster engine) for scale.
+	StaticRegret   float64 `json:"static_regret_seconds"`
+	AdaptiveRegret float64 `json:"adaptive_regret_seconds"`
+	OracleSeconds  float64 `json:"oracle_seconds"`
+}
+
+// regretTieBand treats a decision as correct when its engine's measured
+// time is within 10% of the faster engine's: below measurement noise the
+// "wrong" choice carries no meaningful regret and scoring it as an error
+// would make accuracy a coin flip on balanced scenarios.
+const regretTieBand = 0.10
+
+// regretScenario is one cluster regime of the replay. The throttles are
+// chosen so different resources dominate and the measured-faster engine
+// genuinely differs across scenarios.
+type regretScenario struct {
+	name string
+	spec ClusterSpec
+}
+
+func regretScenarios(quick bool) []regretScenario {
+	scenarios := []regretScenario{
+		// Slow scratch disks: GH pays the partition spill, IJ does not.
+		{"spill-bound", ClusterSpec{
+			ComputeNodes: 2, DiskReadBw: 4 << 20, DiskWriteBw: 2 << 20,
+		}},
+		// Era CPU with free I/O: the per-edge lookup volume decides it.
+		{"cpu-bound", ClusterSpec{
+			ComputeNodes: 2, CPUSecPerOp: 2e-6,
+		}},
+	}
+	if quick {
+		return scenarios[:1]
+	}
+	scenarios = append(scenarios,
+		// Both throttles at once: neither term vanishes from the models.
+		regretScenario{"mixed", ClusterSpec{
+			ComputeNodes: 3, DiskReadBw: 8 << 20, DiskWriteBw: 4 << 20, CPUSecPerOp: 1e-6,
+		}},
+	)
+	return scenarios
+}
+
+func regretCorpus(quick bool) []string {
+	corpus := []string{
+		"SELECT COUNT(*) FROM V1",
+		"SELECT * FROM V1 WHERE x BETWEEN 0 AND 7",
+		"SELECT wp, oilp FROM V1 WHERE z = 1",
+	}
+	if quick {
+		return corpus
+	}
+	return append(corpus,
+		"SELECT x, AVG(wp) FROM V1 GROUP BY x ORDER BY x",
+		"SELECT MIN(wp), MAX(oilp) FROM V1",
+		"SELECT * FROM V1 WHERE x >= 4 AND y < 12",
+	)
+}
+
+// regretSystem builds one system over ds with the given force mode
+// ("ij"/"gh" pins the engine, "" adaptive, "static" adaptive layer off)
+// and defines the corpus view.
+func regretSystem(ds *Dataset, spec ClusterSpec, mode string) (*System, error) {
+	sys, err := NewSystem(ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case "static":
+		sys.DisableCalibration()
+	default:
+		if err := sys.ForceEngine(mode); err != nil {
+			return nil, err
+		}
+	}
+	// Fixed α so the replay does not depend on the build host's one-shot
+	// calibration; the adaptive system refines them from its own runs.
+	sys.SetAlphas(80e-9, 40e-9)
+	if _, err := sys.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func regretRun(sys *System, sql string) (seconds float64, plan *PlanInfo, err error) {
+	res, err := sys.Exec(sql)
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Plan == nil {
+		return 0, nil, fmt.Errorf("sciview: regret query %q produced no plan", sql)
+	}
+	return res.Plan.Measured.Seconds(), res.Plan, nil
+}
+
+// RunRegret replays the corpus under every scenario and scores both
+// planner layers, printing the per-query table and summary to w and, when
+// spec.Out is set, writing the report JSON there.
+func RunRegret(spec RegretSpec, w io.Writer) (*RegretReport, error) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 2006
+	}
+	grid, left, right := Dims{16, 16, 8}, Dims{4, 4, 2}, Dims{2, 2, 4}
+	if spec.Quick {
+		grid = Dims{8, 8, 4}
+	}
+	rep := &RegretReport{}
+	fmt.Fprintf(w, "%-12s %-44s %10s %10s %-6s %-10s %-10s\n",
+		"scenario", "sql", "ij", "gh", "faster", "static", "adaptive")
+	for _, sc := range regretScenarios(spec.Quick) {
+		// Fresh dataset per scenario: each system keeps its own caches, so
+		// forced timings stay comparable within a scenario.
+		ds, err := GenerateOilReservoir(OilReservoirSpec{
+			Grid: grid, LeftPart: left, RightPart: right,
+			StorageNodes: 2, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sysIJ, err := regretSystem(ds, sc.spec, "ij")
+		if err != nil {
+			return nil, err
+		}
+		sysGH, err := regretSystem(ds, sc.spec, "gh")
+		if err != nil {
+			return nil, err
+		}
+		sysAuto, err := regretSystem(ds, sc.spec, "")
+		if err != nil {
+			return nil, err
+		}
+		sysStatic, err := regretSystem(ds, sc.spec, "static")
+		if err != nil {
+			return nil, err
+		}
+		corpus := regretCorpus(spec.Quick)
+		// Warmup: charge every system's caches once, and give the adaptive
+		// estimator enough observed runs to graduate its live signals
+		// before any scored decision.
+		for _, sys := range []*System{sysIJ, sysGH, sysStatic} {
+			if _, _, err := regretRun(sys, corpus[0]); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := regretRun(sysAuto, corpus[0]); err != nil {
+				return nil, err
+			}
+		}
+		for _, sql := range corpus {
+			tIJ, _, err := regretRun(sysIJ, sql)
+			if err != nil {
+				return nil, err
+			}
+			tGH, _, err := regretRun(sysGH, sql)
+			if err != nil {
+				return nil, err
+			}
+			_, autoPlan, err := regretRun(sysAuto, sql)
+			if err != nil {
+				return nil, err
+			}
+			_, staticPlan, err := regretRun(sysStatic, sql)
+			if err != nil {
+				return nil, err
+			}
+			q := RegretQuery{
+				Scenario: sc.name, SQL: sql,
+				IJSeconds: tIJ, GHSeconds: tGH,
+				Static:             staticPlan.Engine,
+				Adaptive:           autoPlan.Engine,
+				AdaptiveCalibrated: autoPlan.Calibrated,
+			}
+			faster, tFast := "ij", tIJ
+			if tGH < tIJ {
+				faster, tFast = "gh", tGH
+			}
+			q.Faster = faster
+			score := func(choice string) (bool, float64) {
+				tChoice := tIJ
+				if choice == "gh" {
+					tChoice = tGH
+				}
+				regret := tChoice - tFast
+				return regret <= regretTieBand*tFast, regret
+			}
+			q.StaticCorrect, q.StaticRegret = score(q.Static)
+			q.AdaptiveCorrect, q.AdaptiveRegret = score(q.Adaptive)
+			rep.Queries = append(rep.Queries, q)
+			rep.OracleSeconds += tFast
+			fmt.Fprintf(w, "%-12s %-44s %9.2fms %9.2fms %-6s %-10s %-10s\n",
+				sc.name, q.SQL, tIJ*1e3, tGH*1e3, faster,
+				mark(q.Static, q.StaticCorrect), mark(q.Adaptive, q.AdaptiveCorrect))
+		}
+		sysIJ.Close()
+		sysGH.Close()
+		sysAuto.Close()
+		sysStatic.Close()
+	}
+	rep.Total = len(rep.Queries)
+	for _, q := range rep.Queries {
+		if q.StaticCorrect {
+			rep.StaticCorrect++
+		}
+		if q.AdaptiveCorrect {
+			rep.AdaptiveCorrect++
+		}
+		rep.StaticRegret += q.StaticRegret
+		rep.AdaptiveRegret += q.AdaptiveRegret
+	}
+	if rep.Total > 0 {
+		rep.StaticAccuracy = float64(rep.StaticCorrect) / float64(rep.Total)
+		rep.AdaptiveAccuracy = float64(rep.AdaptiveCorrect) / float64(rep.Total)
+	}
+	fmt.Fprintf(w, "\nstatic:   accuracy %d/%d = %.2f, regret %.2fms\n",
+		rep.StaticCorrect, rep.Total, rep.StaticAccuracy, rep.StaticRegret*1e3)
+	fmt.Fprintf(w, "adaptive: accuracy %d/%d = %.2f, regret %.2fms (oracle %.2fms)\n",
+		rep.AdaptiveCorrect, rep.Total, rep.AdaptiveAccuracy, rep.AdaptiveRegret*1e3,
+		rep.OracleSeconds*1e3)
+	if spec.Out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(spec.Out, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "report written to %s\n", spec.Out)
+	}
+	return rep, nil
+}
+
+func mark(engine string, correct bool) string {
+	if correct {
+		return engine + " ✓"
+	}
+	return engine + " ✗"
+}

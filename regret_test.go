@@ -1,0 +1,36 @@
+package sciview
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRegretSmoke replays the quick regret corpus (one scenario) and
+// guards the adaptive planner's decision quality: on a regime this
+// lopsided the calibrated layer must beat a coin flip, report every query,
+// and never regress below the static layer by more than one decision.
+func TestRegretSmoke(t *testing.T) {
+	rep, err := RunRegret(RegretSpec{Quick: true}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || len(rep.Queries) != rep.Total {
+		t.Fatalf("report counted %d queries over %d entries", rep.Total, len(rep.Queries))
+	}
+	if rep.AdaptiveAccuracy < 0.5 {
+		t.Errorf("adaptive decision accuracy %.2f (%d/%d), want >= 0.5:\n%+v",
+			rep.AdaptiveAccuracy, rep.AdaptiveCorrect, rep.Total, rep.Queries)
+	}
+	if rep.AdaptiveCorrect < rep.StaticCorrect-1 {
+		t.Errorf("calibration made decisions worse: adaptive %d vs static %d correct",
+			rep.AdaptiveCorrect, rep.StaticCorrect)
+	}
+	for _, q := range rep.Queries {
+		if q.AdaptiveRegret < 0 || q.StaticRegret < 0 {
+			t.Errorf("%s: negative regret (%g / %g)", q.SQL, q.StaticRegret, q.AdaptiveRegret)
+		}
+		if q.Faster != "ij" && q.Faster != "gh" {
+			t.Errorf("%s: faster = %q", q.SQL, q.Faster)
+		}
+	}
+}

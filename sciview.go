@@ -191,12 +191,22 @@ func (s *System) SetAlphas(build, lookup float64) {
 	s.executor.Planner.AlphaLookup = lookup
 }
 
+// DisableCalibration pins the planner to the static configuration layer:
+// observed run costs are no longer folded back, and every decision uses
+// the configured simio rates and alphas.
+func (s *System) DisableCalibration() {
+	s.executor.Planner.Est = nil
+}
+
 // PlanInfo reports how a join query was (or would be) executed.
 type PlanInfo struct {
 	// Engine is the chosen QES: "ij" or "gh".
 	Engine string
 	// Forced reports whether the choice was forced rather than planned.
 	Forced bool
+	// Calibrated reports whether live-calibrated constants (derived from
+	// observed runs) displaced the static configuration in the predictions.
+	Calibrated bool
 	// PredictIJ and PredictGH are the cost models' predicted run times.
 	PredictIJ time.Duration
 	PredictGH time.Duration
@@ -237,12 +247,13 @@ func (s *System) Exec(sql string) (*Result, error) {
 	}
 	if out.Result != nil && out.Decision != nil {
 		res.Plan = &PlanInfo{
-			Engine:    out.Decision.Chosen,
-			Forced:    out.Decision.Forced,
-			PredictIJ: durationOf(out.Decision.PredictIJ.Total),
-			PredictGH: durationOf(out.Decision.PredictGH.Total),
-			Measured:  out.Result.Elapsed,
-			Tuples:    out.Result.Tuples,
+			Engine:     out.Decision.Chosen,
+			Forced:     out.Decision.Forced,
+			Calibrated: out.Decision.Calibrated,
+			PredictIJ:  durationOf(out.Decision.PredictIJ.Total),
+			PredictGH:  durationOf(out.Decision.PredictGH.Total),
+			Measured:   out.Result.Elapsed,
+			Tuples:     out.Result.Tuples,
 		}
 	}
 	return res, nil
@@ -264,10 +275,11 @@ func (s *System) Explain(view string) (*PlanInfo, error) {
 		return nil, err
 	}
 	return &PlanInfo{
-		Engine:    eng.Name(),
-		Forced:    dec.Forced,
-		PredictIJ: durationOf(dec.PredictIJ.Total),
-		PredictGH: durationOf(dec.PredictGH.Total),
+		Engine:     eng.Name(),
+		Forced:     dec.Forced,
+		Calibrated: dec.Calibrated,
+		PredictIJ:  durationOf(dec.PredictIJ.Total),
+		PredictGH:  durationOf(dec.PredictGH.Total),
 	}, nil
 }
 

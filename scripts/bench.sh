@@ -19,8 +19,14 @@
 # network-bound IJ and GH workloads (8 MB/s NICs): row-major vs colenc
 # fetch codec, written to BENCH_pr8.json with the headline fetch-byte and
 # wall-clock reductions (both must clear 30% on this data).
+# A sixth leg runs the adaptive-planner regret replay: the golden SQL
+# corpus under several cluster regimes, each query timed under both forced
+# engines, scoring the static and online-calibrated decisions against the
+# measured winner. The harness writes BENCH_pr9.json itself (decision
+# accuracy and wall-clock regret per layer); adaptive accuracy must stay
+# >= 0.80.
 #
-#   scripts/bench.sh [pr3.json] [pr4.json] [pr5.json] [pr6.json] [pr8.json]
+#   scripts/bench.sh [pr3.json] [pr4.json] [pr5.json] [pr6.json] [pr8.json] [pr9.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,7 @@ out4="${2:-BENCH_pr4.json}"
 out5="${3:-BENCH_pr5.json}"
 out6="${4:-BENCH_pr6.json}"
 out8="${5:-BENCH_pr8.json}"
+out9="${6:-BENCH_pr9.json}"
 raw="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
@@ -231,3 +238,13 @@ END {
 
 echo "== wrote $out8"
 cat "$out8"
+
+echo "== adaptive planner regret replay (static vs calibrated vs forced engines)"
+go run ./cmd/sciview-bench -regret -regret-out "$out9"
+
+echo "== wrote $out9"
+awk '/"adaptive_accuracy"/ {
+    acc = $2 + 0
+    if (acc < 0.80) { printf "adaptive_accuracy %.2f below 0.80 floor\n", acc; exit 1 }
+    printf "adaptive_accuracy %.2f >= 0.80\n", acc
+}' "$out9"

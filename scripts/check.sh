@@ -58,6 +58,11 @@ go test -race -count=1 ./internal/ingest
 go test -race -count=3 -run TestConcurrentAppendDuringQuery ./internal/metadata
 go test -race -count=1 -run TestLivingDataset .
 
+echo "== go test -race (adaptive planner: calibration flip, cost-model default path, regret smoke)"
+go test -race -count=1 -run 'TestCalibrationMovesConstantsAndFlipsDecision' ./internal/planner
+go test -race -count=1 -run 'TestSubmitSQLCostModelDefault' ./internal/service
+go test -race -count=1 -run TestRegretSmoke .
+
 echo "== fuzz smoke (parser must never panic, 10s)"
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/query
 
