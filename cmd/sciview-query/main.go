@@ -29,6 +29,7 @@ func main() {
 		netBw      = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
 		wire       = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
 		cpuPerOp   = flag.Float64("cpu-per-op", 0, "modeled seconds per hash operation (0 = native)")
+		memBudget  = flag.Int64("mem-budget", 0, "per-query memory budget in bytes; blocking operators spill to scratch when over (0 = unlimited)")
 		sharedFS   = flag.Bool("shared-fs", false, "route all I/O through a single shared server")
 		maxRows    = flag.Int("max-rows", 20, "rows to print per result (0 = all)")
 		explainAll = flag.Bool("explain", false, "print cost-model predictions for join queries")
@@ -52,6 +53,7 @@ func main() {
 		Wire:         *wire,
 		CPUSecPerOp:  *cpuPerOp,
 		SharedFS:     *sharedFS,
+		MemBudget:    *memBudget,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +91,10 @@ func main() {
 			fmt.Printf("plan: engine=%s forced=%v calib=%s predicted IJ=%v GH=%v measured=%v tuples=%d\n",
 				res.Plan.Engine, res.Plan.Forced, calib, res.Plan.PredictIJ, res.Plan.PredictGH,
 				res.Plan.Measured, res.Plan.Tuples)
+			if res.Plan.SpillBytes > 0 || res.Plan.SpillReadBytes > 0 {
+				fmt.Printf("spill: wrote=%d read=%d bytes to scratch (budget %d)\n",
+					res.Plan.SpillBytes, res.Plan.SpillReadBytes, *memBudget)
+			}
 		}
 		if *traceRuns {
 			if s := sys.TraceSummary(); s != "" {

@@ -26,12 +26,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sciview-repl: ")
 	var (
-		data    = flag.String("data", "", "dataset directory (required)")
-		compute = flag.Int("compute", 4, "number of compute nodes")
-		diskBw  = flag.Float64("disk-bw", 0, "disk bandwidth in bytes/s (0 = unlimited)")
-		netBw   = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
-		wire    = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
-		maxRows = flag.Int("max-rows", 20, "rows to print per result (0 = all)")
+		data      = flag.String("data", "", "dataset directory (required)")
+		compute   = flag.Int("compute", 4, "number of compute nodes")
+		diskBw    = flag.Float64("disk-bw", 0, "disk bandwidth in bytes/s (0 = unlimited)")
+		netBw     = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
+		wire      = flag.String("wire", "", "fetch codec: rowmajor (default) or colenc (compressed columnar frames)")
+		maxRows   = flag.Int("max-rows", 20, "rows to print per result (0 = all)")
+		memBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes; blocking operators spill to scratch when over (0 = unlimited)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -45,8 +46,9 @@ func main() {
 	sys, err := sciview.NewSystem(ds, sciview.ClusterSpec{
 		ComputeNodes: *compute,
 		DiskReadBw:   *diskBw, DiskWriteBw: *diskBw,
-		NetBw: *netBw,
-		Wire:  *wire,
+		NetBw:     *netBw,
+		Wire:      *wire,
+		MemBudget: *memBudget,
 	})
 	if err != nil {
 		log.Fatal(err)

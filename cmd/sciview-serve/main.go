@@ -59,6 +59,7 @@ func main() {
 		netBw       = flag.Float64("net-bw", 0, "per-NIC bandwidth in bytes/s (0 = unlimited)")
 		maxInFlight = flag.Int("max-inflight", 4, "max concurrently executing queries")
 		memBudget   = flag.Int64("mem-budget", 0, "working-set budget across in-flight queries in bytes (0 = unlimited)")
+		strict      = flag.Bool("strict", false, "reject queries whose estimate exceeds -mem-budget instead of admitting them degraded (spilling to scratch)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries; excess fail fast (0 = unlimited)")
 		force       = flag.String("engine", "", "force engine: ij or gh (default: cost-model choice per query)")
 		noCalibrate = flag.Bool("no-calibrate", false, "pin the planner to the static configuration layer instead of folding observed run costs into the cost-model constants")
@@ -116,6 +117,7 @@ func main() {
 	svc := service.New(sys.Cluster(), service.Config{
 		MaxInFlight:  *maxInFlight,
 		MemoryBudget: *memBudget,
+		Strict:       *strict,
 		MaxQueue:     *maxQueue,
 		Force:        *force,
 		NoCalibrate:  *noCalibrate,
@@ -182,7 +184,11 @@ func main() {
 	actual, _ := tr.Addr(service.DefaultServiceName)
 	fmt.Printf("query service at %s (%d slots", actual, *maxInFlight)
 	if *memBudget > 0 {
-		fmt.Printf(", %d byte budget", *memBudget)
+		mode := "degraded admission"
+		if *strict {
+			mode = "strict admission"
+		}
+		fmt.Printf(", %d byte budget, %s", *memBudget, mode)
 	}
 	fmt.Println("; ctrl-c to drain and stop)")
 
@@ -236,10 +242,14 @@ func runClient(addr string, query bool, left, right, on, ranges string, priority
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %d tuples in %v (queued %v, weight %d bytes)\n",
+	degraded := ""
+	if resp.Degraded {
+		degraded = ", degraded: over budget, spilled to scratch"
+	}
+	fmt.Printf("%s: %d tuples in %v (queued %v, weight %d bytes%s)\n",
 		resp.Result.Engine, resp.Result.Tuples,
 		resp.Result.Elapsed.Round(time.Microsecond),
-		resp.QueueWait.Round(time.Microsecond), resp.Weight)
+		resp.QueueWait.Round(time.Microsecond), resp.Weight, degraded)
 }
 
 // parseRanges parses comma-separated attr:lo:hi triples.

@@ -90,6 +90,11 @@ type Config struct {
 	// Retry is the per-replica fetch backoff policy. The zero value means
 	// retry.Default() (3 attempts, 1ms base, 50ms cap, 0.5 jitter).
 	Retry retry.Policy
+	// ScratchStores, when set, supplies the backing store for compute
+	// node j's scratch disk (hygiene tests audit spill-file lifecycles
+	// through real file stores). Nil keeps in-memory stores. Ignored in
+	// the shared-filesystem configuration.
+	ScratchStores func(j int) simio.Store
 	// BreakerThreshold and BreakerCooldown configure the per-storage-node
 	// circuit breakers: trip after BreakerThreshold consecutive failures
 	// (default 3), probe after BreakerCooldown (default 100ms).
@@ -351,7 +356,11 @@ func New(cfg Config, catalog *metadata.Catalog, stores []simio.Store) (*Cluster,
 		if cfg.SharedFS {
 			scratch = simio.NewSharedDisk(simio.NewMemStore(), cl.nfsRead, cl.nfsWrite)
 		} else {
-			scratch = simio.NewDisk(simio.NewMemStore(), cfg.DiskReadBw, cfg.DiskWriteBw)
+			store := simio.Store(simio.NewMemStore())
+			if cfg.ScratchStores != nil {
+				store = cfg.ScratchStores(j)
+			}
+			scratch = simio.NewDisk(store, cfg.DiskReadBw, cfg.DiskWriteBw)
 		}
 		scratch.Owner = cfg.StorageNodes + j
 		if cfg.Faults != nil {

@@ -247,6 +247,16 @@ func (p Params) spillReadBw() float64 {
 	return p.ReadBw
 }
 
+// SpillCost prices one out-of-core round trip: writing bytes to a
+// joiner's scratch disk and reading them back, at the (calibrated when
+// available) spill rates. It is the seconds a budget-degraded operator
+// adds per spilled byte volume — the term admission and EXPLAIN use to
+// weigh degraded execution against queueing. Unlimited (zero) rates
+// price as zero, matching the rest of the model.
+func (p Params) SpillCost(bytes int64) float64 {
+	return div(float64(bytes), p.spillWriteBw()) + div(float64(bytes), p.spillReadBw())
+}
+
 func minPos(a, b float64) float64 {
 	switch {
 	case a <= 0 && b <= 0:

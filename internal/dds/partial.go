@@ -68,6 +68,11 @@ func NewPartial(schema tuple.Schema, items []query.SelectItem, groupBy []string,
 	return p, nil
 }
 
+// Groups returns the number of distinct groups accumulated so far —
+// the quantity out-of-core aggregation compares against its memory
+// charge to detect skewed partitions.
+func (p *Partial) Groups() int { return len(p.groups) }
+
 // Fold accumulates every row of st into the partial state.
 func (p *Partial) Fold(st *tuple.SubTable) error {
 	if st == nil || st.NumRows() == 0 {

@@ -90,6 +90,13 @@ type Request struct {
 	// snapshot pins.
 	LeftVersions  metadata.VersionWindow
 	RightVersions metadata.VersionWindow
+	// MemoryBudget bounds the engine's in-memory join state in bytes
+	// (0 = unbounded). Each per-node QES divides its share of the budget
+	// between the two sub-tables of a pair; a build side over its share
+	// is partitioned to the node's scratch disk and joined leaf by leaf,
+	// byte-identical to the in-memory join. The plan layer stamps this
+	// from the query's admission budget share.
+	MemoryBudget int64
 }
 
 // LeftWindow returns the effective version window for the left side:
@@ -263,6 +270,13 @@ type OpStat struct {
 	Bytes     int64
 	PeakBytes int64
 	Busy      time.Duration
+	// SpillBytes/SpillReadBytes are the scratch bytes this operator wrote
+	// and read back while running out-of-core; SpillParts counts the
+	// scratch files (sort runs, aggregation partitions, join build
+	// partitions) it created. All zero for in-memory execution.
+	SpillBytes     int64
+	SpillReadBytes int64
+	SpillParts     int64
 }
 
 // DefaultPrefetch is the lookahead depth the command-line tools use when

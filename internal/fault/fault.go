@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"sciview/internal/simio"
 	"sciview/internal/transport"
 )
 
@@ -59,6 +60,13 @@ const (
 	// but it missed every append committed while it was dark, and the
 	// repair tier has to catch it up before routing trusts it again.
 	Restart
+	// ShortWrite fails every Every-th matching write with a
+	// *simio.PartialWriteError: the device really persists half the
+	// payload before erroring, so the spill layer's truncation detection
+	// is exercised against genuinely torn files. Only OpWrite operations
+	// honor the partial-persist semantics; on other ops it is a plain
+	// error.
+	ShortWrite
 )
 
 func (a Action) String() string {
@@ -71,6 +79,8 @@ func (a Action) String() string {
 		return "delay"
 	case Restart:
 		return "restart"
+	case ShortWrite:
+		return "shortwrite"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -109,6 +119,8 @@ func (r Rule) String() string {
 			down = r.After
 		}
 		return fmt.Sprintf("restart:%s:%s:%d:%d", r.Node, r.Op, r.After, down)
+	case ShortWrite:
+		return fmt.Sprintf("shortwrite:%s:%s:%d", r.Node, r.Op, r.Every)
 	default:
 		return fmt.Sprintf("?:%s:%s", r.Node, r.Op)
 	}
@@ -146,6 +158,8 @@ type Stats struct {
 	Crashes int64
 	// Restarts counts nodes brought back up by Restart rules.
 	Restarts int64
+	// ShortWrites counts injected partial writes.
+	ShortWrites int64
 }
 
 // Injector applies a fault schedule. All methods are safe for concurrent
@@ -216,6 +230,8 @@ func (in *Injector) Spec() string {
 //	restart:<node>:<op>:<n>[:<m>]  node crashes at its n-th matching op and
 //	                               revives after m further cluster-wide
 //	                               operations (default m = n)
+//	shortwrite:<node>:<op>:<n>     every n-th matching write persists half
+//	                               its payload, then fails
 //
 // <node> is storage-<i>, compute-<j> or *; <op> is fetch, read, write,
 // edge, call or *. An empty spec yields a no-op injector.
@@ -267,6 +283,11 @@ func Parse(spec string) (*Injector, error) {
 				}
 				r.DownFor = m
 			}
+		case "shortwrite":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("fault: clause %q: shortwrite takes 4 fields", clause)
+			}
+			r.Action, r.Every = ShortWrite, n
 		default:
 			return nil, fmt.Errorf("fault: clause %q: unknown kind %q", clause, f[0])
 		}
@@ -367,6 +388,12 @@ func (in *Injector) apply(node, op string) (time.Duration, []string, error) {
 			if r.Every > 0 && in.counts[i]%r.Every == 0 {
 				in.stats.Delays++
 				delay += r.Delay
+			}
+		case ShortWrite:
+			if r.Every > 0 && in.counts[i]%r.Every == 0 {
+				in.stats.ShortWrites++
+				return delay, revived, fmt.Errorf("fault: injected short write (%s/%s op %d): %w",
+					node, op, in.counts[i], &simio.PartialWriteError{Rule: r.String()})
 			}
 		}
 	}

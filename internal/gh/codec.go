@@ -1,55 +1,17 @@
 package gh
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
+	"sciview/internal/scratch"
 	"sciview/internal/tuple"
 )
 
-// Spill buckets are raw row-major float32 records: the schema is known to
-// both phases, so no framing is needed, and the on-disk byte count equals
-// rows × record size — the quantity the cost model charges for.
-//
-// encodeRows writes into a pooled buffer (tuple.GetBuf): both simio stores
-// copy on Append, so spill callers release the buffer with tuple.PutBuf
-// right after the write and steady-state spilling allocates nothing.
+// Spill buckets are raw row-major float32 records — the shared scratch
+// codec. The schema is known to both phases, so no framing is needed,
+// and the on-disk byte count equals rows × record size — the quantity
+// the cost model charges for.
 
-func encodeRows(st *tuple.SubTable) []byte {
-	na := st.Schema.NumAttrs()
-	size := st.NumRows() * na * 4
-	out := tuple.GetBuf(size)[:size]
-	off := 0
-	for r := 0; r < st.NumRows(); r++ {
-		for c := 0; c < na; c++ {
-			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(st.Value(r, c)))
-			off += 4
-		}
-	}
-	return out
-}
+func encodeRows(st *tuple.SubTable) []byte { return scratch.EncodeRows(st) }
 
 func decodeRows(schema tuple.Schema, data []byte, bucket int32) (*tuple.SubTable, error) {
-	rec := schema.RecordSize()
-	if rec == 0 || len(data)%rec != 0 {
-		return nil, fmt.Errorf("gh: bucket %d holds %d bytes, not a multiple of record size %d",
-			bucket, len(data), rec)
-	}
-	rows := len(data) / rec
-	na := schema.NumAttrs()
-	// One backing array for all columns keeps decode at two allocations.
-	backing := make([]float32, na*rows)
-	cols := make([][]float32, na)
-	for c := range cols {
-		cols[c] = backing[c*rows : (c+1)*rows : (c+1)*rows]
-	}
-	off := 0
-	for r := 0; r < rows; r++ {
-		for c := 0; c < na; c++ {
-			cols[c][r] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
-			off += 4
-		}
-	}
-	return tuple.FromColumns(tuple.ID{Table: -1, Chunk: bucket}, schema, cols)
+	return scratch.DecodeRows(schema, data, tuple.ID{Table: -1, Chunk: bucket})
 }

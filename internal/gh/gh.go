@@ -29,7 +29,7 @@ import (
 	"sciview/internal/fault"
 	"sciview/internal/hashjoin"
 	"sciview/internal/metadata"
-	"sciview/internal/simio"
+	"sciview/internal/scratch"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
 )
@@ -159,6 +159,35 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	run := runSeq.Add(1)
 	obs := &engine.ObsCollector{}
 	nj := len(cl.Compute)
+	// The effective per-pair memory cap: the engine tunable, tightened by
+	// the request's admission budget when one is set (two bucket sides per
+	// joiner may be resident at once, hence the 2·nj divisor).
+	memCap := e.MemoryBytes
+	if req.MemoryBudget > 0 {
+		share := req.MemoryBudget / int64(2*nj)
+		if share < 1 {
+			share = 1
+		}
+		if memCap == 0 || share < memCap {
+			memCap = share
+		}
+	}
+	// Every scratch manager the run mounts (including rebuild remounts) is
+	// reaped on exit, so a cancelled or failed run leaves no orphans.
+	var mgrMu sync.Mutex
+	var mgrs []*scratch.Manager
+	track := func(m *scratch.Manager) {
+		mgrMu.Lock()
+		mgrs = append(mgrs, m)
+		mgrMu.Unlock()
+	}
+	defer func() {
+		mgrMu.Lock()
+		defer mgrMu.Unlock()
+		for _, m := range mgrs {
+			m.ReleaseAll()
+		}
+	}()
 	// One partition group per h1 class: all records with h1(key)%nj == g
 	// belong to group g, held by one (reassignable) executor node. The
 	// group — not the node — is the recovery unit: losing a node loses
@@ -166,13 +195,13 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	groups := make([]*group, nj)
 	for g := 0; g < nj; g++ {
 		groups[g] = &group{g: g, exec: g}
-		groups[g].mount(cl, run, leftSchema, rightSchema, buckets, flushRows, req.Trace, obs)
+		groups[g].mount(cl, run, leftSchema, rightSchema, buckets, flushRows, req.Trace, obs, track)
 	}
 	sp := &scanParams{
 		leftTable: req.LeftTable, rightTable: req.RightTable,
 		leftFilter: leftFilter, rightFilter: rightFilter,
 		project: project, joinAttrs: req.JoinAttrs,
-		batchRows: batchRows, nj: nj, rec: req.Trace, obs: obs,
+		batchRows: batchRows, nj: nj, rec: req.Trace, obs: obs, track: track,
 	}
 
 	// Phase 1: partition the left table, then the right table. A compute
@@ -237,7 +266,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		go func(grp *group) {
 			defer wg.Done()
 			results[grp.g], errs[grp.g] = e.runGroup(ctx, cl, grp, run,
-				leftSchema, rightSchema, buckets, flushRows, req, wf, outSchema, sp, &stats)
+				leftSchema, rightSchema, buckets, flushRows, req, wf, memCap, outSchema, sp, &stats)
 		}(groups[g])
 	}
 	wg.Wait()
@@ -304,6 +333,7 @@ type group struct {
 	g       int
 	exec    int // current executor compute node
 	attempt int // increments per rebuild; namespaces scratch objects
+	mgr     *scratch.Manager
 	lp, rp  *partitioner
 	// lost marks the group's partitions as gone (executor died while they
 	// were being written or read). Scanners stop shipping to a lost group;
@@ -311,21 +341,20 @@ type group struct {
 	lost atomic.Bool
 }
 
-// mount installs a fresh partitioner pair for the group's current
-// (exec, attempt) on the executor's scratch disk.
+// mount installs a fresh scratch manager and partitioner pair for the
+// group's current (exec, attempt) on the executor's scratch disk.
 func (grp *group) mount(cl *cluster.Cluster, run int64, leftSchema, rightSchema tuple.Schema,
-	buckets, flushRows int, rec *trace.Recorder, obs *engine.ObsCollector) {
-	scratch := cl.Compute[grp.exec].Scratch
+	buckets, flushRows int, rec *trace.Recorder, obs *engine.ObsCollector, track func(*scratch.Manager)) {
 	node := fmt.Sprintf("joiner-%d", grp.exec)
-	grp.lp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "L"), leftSchema, buckets, flushRows)
-	grp.rp = newPartitioner(scratch, groupPrefix(run, grp.g, grp.attempt, "R"), rightSchema, buckets, flushRows)
+	grp.mgr = scratch.NewManager(cl.Compute[grp.exec].Scratch,
+		fmt.Sprintf("gh/r%d/g%da%d", run, grp.g, grp.attempt), node, rec, obs)
+	if track != nil {
+		track(grp.mgr)
+	}
+	grp.lp = newPartitioner(grp.mgr, "L", leftSchema, buckets, flushRows)
+	grp.rp = newPartitioner(grp.mgr, "R", rightSchema, buckets, flushRows)
 	grp.lp.node, grp.rp.node = node, node
-	grp.lp.rec, grp.rp.rec = rec, rec
 	grp.lp.obs, grp.rp.obs = obs, obs
-}
-
-func groupPrefix(run int64, g, attempt int, side string) string {
-	return fmt.Sprintf("gh/r%d/g%da%d/%s", run, g, attempt, side)
 }
 
 // flush spills the group's residual buffers, downgrading an executor
@@ -373,6 +402,7 @@ type scanParams struct {
 	nj                      int // h1's range — fixed for the run, even when rebuilding one group
 	rec                     *trace.Recorder
 	obs                     *engine.ObsCollector
+	track                   func(*scratch.Manager) // registers remounted managers for end-of-run cleanup
 }
 
 func (sp *scanParams) table(sd side) (string, metadata.Range) {
@@ -525,7 +555,7 @@ func (e *Engine) shipBatch(cl *cluster.Cluster, src int, grp *group, sd side,
 // and stats, merged into the run totals only on success.
 func (e *Engine) runGroup(ctx context.Context, cl *cluster.Cluster, grp *group, run int64,
 	leftSchema, rightSchema tuple.Schema, buckets, flushRows int, req engine.Request, wf int,
-	outSchema tuple.Schema, sp *scanParams, stats *hashjoin.Stats) (*tuple.SubTable, error) {
+	memCap int64, outSchema tuple.Schema, sp *scanParams, stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -537,7 +567,7 @@ func (e *Engine) runGroup(ctx context.Context, cl *cluster.Cluster, grp *group, 
 			}
 		}
 		var local hashjoin.Stats
-		out, err := e.joinBuckets(ctx, cl.Compute[grp.exec], grp, req, wf, buckets, outSchema, &local)
+		out, err := e.joinBuckets(ctx, cl.Compute[grp.exec], grp, req, wf, memCap, buckets, outSchema, &local)
 		if err == nil {
 			mergeStats(stats, &local)
 			if req.Sink != nil {
@@ -575,7 +605,7 @@ func (e *Engine) rebuildGroup(ctx context.Context, cl *cluster.Cluster, grp *gro
 	grp.exec = next
 	grp.attempt++
 	grp.lost.Store(false)
-	grp.mount(cl, run, leftSchema, rightSchema, buckets, flushRows, sp.rec, sp.obs)
+	grp.mount(cl, run, leftSchema, rightSchema, buckets, flushRows, sp.rec, sp.obs, sp.track)
 	cl.Health.Rebuilds.Add(1)
 	// h1 classes are positional: scanTable indexes groups[g], so the slice
 	// spans all nj classes even though only grp.g receives rows.
@@ -616,13 +646,13 @@ func mergeStats(dst, src *hashjoin.Stats) {
 }
 
 // partitioner is the compute-node side of phase 1 for one table: it
-// applies h2 and spills bucket buffers to the node's scratch disk.
+// applies h2 and spills bucket buffers through the group's scratch
+// manager, which owns billing, tracing, and end-of-run cleanup.
 type partitioner struct {
 	mu        sync.Mutex
-	disk      *simio.Disk
-	prefix    string
+	mgr       *scratch.Manager
+	side      string // "L" or "R" — the bucket-name namespace
 	node      string
-	rec       *trace.Recorder
 	obs       *engine.ObsCollector
 	schema    tuple.Schema
 	buckets   []*tuple.SubTable
@@ -630,10 +660,10 @@ type partitioner struct {
 	flushRows int
 }
 
-func newPartitioner(disk *simio.Disk, prefix string, schema tuple.Schema, buckets, flushRows int) *partitioner {
+func newPartitioner(mgr *scratch.Manager, side string, schema tuple.Schema, buckets, flushRows int) *partitioner {
 	p := &partitioner{
-		disk:      disk,
-		prefix:    prefix,
+		mgr:       mgr,
+		side:      side,
 		schema:    schema,
 		buckets:   make([]*tuple.SubTable, buckets),
 		rows:      make([]int64, buckets),
@@ -645,7 +675,7 @@ func newPartitioner(disk *simio.Disk, prefix string, schema tuple.Schema, bucket
 	return p
 }
 
-func (p *partitioner) object(k int) string { return fmt.Sprintf("%s/b%d", p.prefix, k) }
+func (p *partitioner) object(k int) string { return fmt.Sprintf("%s/b%d", p.side, k) }
 
 // add partitions a batch into buckets, spilling full buffers.
 func (p *partitioner) add(batch *tuple.SubTable, keyIdxs []int) error {
@@ -673,15 +703,12 @@ func (p *partitioner) spill(k int) error {
 	if b.NumRows() == 0 {
 		return nil
 	}
-	start := time.Now()
 	data := encodeRows(b)
-	if err := p.disk.Append(p.object(k), data); err != nil {
-		tuple.PutBuf(data)
+	err := p.mgr.File(p.object(k)).AppendRows(data, int64(b.NumRows()))
+	tuple.PutBuf(data) // the store copied; recycle the encode buffer
+	if err != nil {
 		return err
 	}
-	p.obs.SpillWrite(int64(len(data)), time.Since(start))
-	p.rec.Span(p.node, trace.KindSpill, p.object(k), start, int64(len(data)), int64(b.NumRows()))
-	tuple.PutBuf(data) // Append copied; recycle the encode buffer
 	p.rows[k] += int64(b.NumRows())
 	b.Reset()
 	return nil
@@ -699,34 +726,30 @@ func (p *partitioner) flushAll() error {
 	return nil
 }
 
-// readBucket loads bucket k back from scratch disk.
+// readBucket loads bucket k back from scratch disk. The read is
+// size-verified by the manager: a bucket the store holds short (a
+// crashed or short write slipped through) fails loudly here.
 func (p *partitioner) readBucket(k int) (*tuple.SubTable, error) {
 	if p.rows[k] == 0 {
 		return tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(k)}, p.schema, 0), nil
 	}
-	start := time.Now()
-	data, err := p.disk.ReadRange(p.object(k), 0, -1)
+	data, err := p.mgr.File(p.object(k)).ReadAll()
 	if err != nil {
 		return nil, err
 	}
-	st, err := decodeRows(p.schema, data, int32(k))
-	if err != nil {
-		return nil, err
-	}
-	p.obs.SpillRead(int64(len(data)), time.Since(start))
-	p.rec.Span(p.node, trace.KindBucketRead, p.object(k), start, int64(len(data)), int64(st.NumRows()))
-	return st, nil
+	return decodeRows(p.schema, data, int32(k))
 }
 
 // deleteBucket removes bucket k's object (post-join cleanup).
 func (p *partitioner) deleteBucket(k int) error {
-	return p.disk.Delete(p.object(k))
+	p.mgr.Release(p.mgr.File(p.object(k)))
+	return nil
 }
 
 // joinBuckets is phase 2 for one group: join its bucket pairs
 // independently on the group's current executor.
 func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, grp *group, req engine.Request,
-	wf, buckets int, outSchema tuple.Schema, stats *hashjoin.Stats) (*tuple.SubTable, error) {
+	wf int, memCap int64, buckets int, outSchema tuple.Schema, stats *hashjoin.Stats) (*tuple.SubTable, error) {
 
 	lp, rp := grp.lp, grp.rp
 	out := tuple.NewSubTable(tuple.ID{Table: -2, Chunk: int32(grp.g)}, outSchema, 0)
@@ -746,7 +769,7 @@ func (e *Engine) joinBuckets(ctx context.Context, cn *cluster.ComputeNode, grp *
 		if err != nil {
 			return nil, err
 		}
-		if err := e.joinPair(cn, lp, rp, fmt.Sprintf("b%d", k), left, right, req, wf, out, stats, 0, 0); err != nil {
+		if err := e.joinPair(cn, grp, fmt.Sprintf("b%d", k), left, right, req, wf, memCap, out, stats); err != nil {
 			return nil, err
 		}
 		if req.Progress != nil {
@@ -780,47 +803,43 @@ const (
 	overflowMaxDepth = 3
 )
 
-// joinPair joins one bucket pair in memory, recursively repartitioning
-// with the salted hash h3 when a side exceeds the memory cap. Each
-// recursion round-trips the repartitioned records through the joiner's
-// scratch disk, exactly as a memory-constrained node would, so the modeled
-// I/O cost of skew is paid. Past overflowMaxDepth (pathological duplicate
-// keys that no hash can split) the pair is joined in memory as a fallback.
-func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label string,
-	left, right *tuple.SubTable, req engine.Request, wf int,
-	out *tuple.SubTable, stats *hashjoin.Stats, salt uint64, depth int) error {
+// joinPair joins one bucket pair. A build side that fits the cap joins
+// in memory on the historical fast path; one that overflows goes
+// through the shared out-of-core join (hashjoin.JoinPairSpill), which
+// recursively repartitions the build side with the salted hash h3,
+// round-tripping each partition through the joiner's scratch disk
+// exactly as a memory-constrained node would, so the modeled I/O cost
+// of skew is paid. Past overflowMaxDepth (pathological duplicate keys
+// that no hash can split) the residual partition builds oversized as a
+// fallback. The spilled join's output is byte-identical to the
+// in-memory path at any cap.
+func (e *Engine) joinPair(cn *cluster.ComputeNode, grp *group, label string,
+	left, right *tuple.SubTable, req engine.Request, wf int, memCap int64,
+	out *tuple.SubTable, stats *hashjoin.Stats) error {
 
-	overflows := e.MemoryBytes > 0 &&
-		(int64(left.Bytes()) > e.MemoryBytes || int64(right.Bytes()) > e.MemoryBytes)
-	if overflows && depth < overflowMaxDepth {
-		keyIdxsL, err := left.Schema.Indexes(req.JoinAttrs)
-		if err != nil {
-			return err
+	lp := grp.lp
+	if memCap > 0 && int64(left.Bytes()) > memCap {
+		hooks := hashjoin.SpillHooks{
+			RoundTrip: func(lbl string, st *tuple.SubTable) (*tuple.SubTable, error) {
+				return grp.roundTrip(lbl, st)
+			},
+			Built: func(lbl string, st *tuple.SubTable, start time.Time) {
+				cn.SpendCPU(int64(st.NumRows()) * int64(wf))
+				lp.obs.Build(int64(st.NumRows())*int64(wf), time.Since(start))
+				req.Trace.Span(lp.node, trace.KindBuild, lbl, start,
+					int64(st.Bytes()), int64(st.NumRows()))
+			},
+			Probed: func(lbl string, st *tuple.SubTable, start time.Time) {
+				cn.SpendCPU(int64(st.NumRows()) * int64(wf))
+				lp.obs.Probe(int64(st.NumRows())*int64(wf), time.Since(start))
+				req.Trace.Span(lp.node, trace.KindProbe, lbl, start,
+					int64(st.Bytes()), int64(st.NumRows()))
+			},
 		}
-		keyIdxsR, err := right.Schema.Indexes(req.JoinAttrs)
-		if err != nil {
-			return err
-		}
-		subsL := splitBySaltedHash(left, keyIdxsL, salt)
-		subsR := splitBySaltedHash(right, keyIdxsR, salt)
-		for i := 0; i < overflowFanout; i++ {
-			if subsL[i].NumRows() == 0 || subsR[i].NumRows() == 0 {
-				continue
-			}
-			subLabel := fmt.Sprintf("%s.%d", label, i)
-			l, err := roundTrip(lp, subLabel, subsL[i])
-			if err != nil {
-				return err
-			}
-			r, err := roundTrip(rp, subLabel, subsR[i])
-			if err != nil {
-				return err
-			}
-			if err := e.joinPair(cn, lp, rp, subLabel, l, r, req, wf, out, stats, salt+1, depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
+		_, _, err := hashjoin.JoinPairSpill(left, right, req.JoinAttrs, label,
+			wf, req.Parallelism, memCap, overflowFanout, overflowMaxDepth,
+			h3, hooks, out, stats)
+		return err
 	}
 
 	buildStart := time.Now()
@@ -843,50 +862,24 @@ func (e *Engine) joinPair(cn *cluster.ComputeNode, lp, rp *partitioner, label st
 	return nil
 }
 
-// splitBySaltedHash partitions rows into overflowFanout sub-tables by h3.
-func splitBySaltedHash(st *tuple.SubTable, keyIdxs []int, salt uint64) []*tuple.SubTable {
-	subs := make([]*tuple.SubTable, overflowFanout)
-	for i := range subs {
-		subs[i] = tuple.NewSubTable(st.ID, st.Schema, st.NumRows()/overflowFanout+1)
-	}
-	row := tuple.GetRow(st.Schema.NumAttrs())
-	defer tuple.PutRow(row)
-	for r := 0; r < st.NumRows(); r++ {
-		i := int(h3(st.Key(r, keyIdxs), salt) % overflowFanout)
-		subs[i].AppendRow(st.Row(r, row)...)
-	}
-	return subs
-}
-
-// roundTrip spills a repartitioned sub-bucket to the joiner's scratch disk
-// and reads it back, paying the modeled I/O an out-of-core repartition
-// costs.
-func roundTrip(p *partitioner, label string, st *tuple.SubTable) (*tuple.SubTable, error) {
-	name := p.prefix + "/overflow/" + label
+// roundTrip spills a repartitioned build partition to the group's
+// scratch disk and reads it back (size-verified), paying the modeled
+// I/O an out-of-core repartition costs.
+func (grp *group) roundTrip(label string, st *tuple.SubTable) (*tuple.SubTable, error) {
+	f := grp.mgr.Create("ov-" + label)
 	data := encodeRows(st)
-	start := time.Now()
-	if err := p.disk.Append(name, data); err != nil {
-		tuple.PutBuf(data)
-		return nil, err
-	}
-	p.obs.SpillWrite(int64(len(data)), time.Since(start))
-	p.rec.Span(p.node, trace.KindSpill, name, start, int64(len(data)), int64(st.NumRows()))
+	err := f.AppendRows(data, int64(st.NumRows()))
 	tuple.PutBuf(data)
-	start = time.Now()
-	back, err := p.disk.ReadRange(name, 0, -1)
 	if err != nil {
 		return nil, err
 	}
-	out, err := decodeRows(p.schema, back, st.ID.Chunk)
+	back, err := f.ReadAll()
 	if err != nil {
 		return nil, err
 	}
-	p.obs.SpillRead(int64(len(back)), time.Since(start))
-	p.rec.Span(p.node, trace.KindBucketRead, name, start, int64(len(back)), int64(out.NumRows()))
-	if err := p.disk.Delete(name); err != nil {
-		return nil, err
-	}
-	return out, nil
+	out, err := decodeRows(st.Schema, back, st.ID.Chunk)
+	grp.mgr.Release(f)
+	return out, err
 }
 
 // filterFor keeps only constraints naming attributes of def's schema.

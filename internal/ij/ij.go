@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciview/internal/chunk"
@@ -25,6 +26,7 @@ import (
 	"sciview/internal/fault"
 	"sciview/internal/hashjoin"
 	"sciview/internal/metadata"
+	"sciview/internal/scratch"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
 )
@@ -147,6 +149,17 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 	nj := len(cl.Compute)
 	schedules := e.buildSchedules(comps, leftDescs, rightDescs, nj, cl.Config.CacheBytes)
 
+	// The per-edge build-side memory cap from the request's admission
+	// budget: each joiner may hold a build and a probe sub-table at once,
+	// hence the 2·nj divisor. 0 = unbounded (no admission budget set).
+	var memCap int64
+	if req.MemoryBudget > 0 {
+		memCap = req.MemoryBudget / int64(2*nj)
+		if memCap < 1 {
+			memCap = 1
+		}
+	}
+
 	// Publish the schedule size so streaming consumers can report the
 	// fraction of edges an early-terminated query actually joined. Joined
 	// counts executed edges, so fault-driven replays can push it past
@@ -172,7 +185,7 @@ func (e *Engine) RunContext(ctx context.Context, cl *cluster.Cluster, req engine
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			results[slot], errs[slot] = e.runSlot(ctx, cl, slot, schedules[slot], req, wf,
+			results[slot], errs[slot] = e.runSlot(ctx, cl, slot, schedules[slot], req, wf, memCap,
 				leftFilter, rightFilter, project, outSchema, &stats, obs)
 		}(slot)
 	}
@@ -283,7 +296,7 @@ func (e *Engine) buildSchedules(comps []congraph.Component, leftDescs, rightDesc
 // for sub-tables the slot shares with their own schedules), so the
 // recovered output is byte-identical to an undisturbed run.
 func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sched []edge, req engine.Request,
-	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
+	wf int, memCap int64, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
 	stats *hashjoin.Stats, obs *engine.ObsCollector) (*tuple.SubTable, error) {
 
 	exec := slot
@@ -296,7 +309,7 @@ func (e *Engine) runSlot(ctx context.Context, cl *cluster.Cluster, slot int, sch
 			exec = next
 		}
 		var local hashjoin.Stats
-		out, err := e.runJoiner(ctx, cl, slot, exec, sched, req, wf,
+		out, err := e.runJoiner(ctx, cl, slot, exec, sched, req, wf, memCap,
 			leftFilter, rightFilter, project, outSchema, &local, obs)
 		if err == nil {
 			mergeStats(stats, &local)
@@ -356,12 +369,27 @@ func mergeStats(dst, src *hashjoin.Stats) {
 // (error, cancellation, injected crash) the deferred cancel-and-wait below
 // reaps every in-flight prefetch before the slot is re-assigned.
 func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec int, sched []edge, req engine.Request,
-	wf int, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
+	wf int, memCap int64, leftFilter, rightFilter metadata.Range, project []string, outSchema tuple.Schema,
 	stats *hashjoin.Stats, obs *engine.ObsCollector) (*tuple.SubTable, error) {
 
 	out := tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
 	cn := cl.Compute[exec]
 	node := fmt.Sprintf("joiner-%d", slot)
+	// Lazily-mounted scratch manager for build sides that overflow the
+	// memory cap; reaped when the attempt ends, however it ends.
+	var mgr *scratch.Manager
+	spillMgr := func() *scratch.Manager {
+		if mgr == nil {
+			mgr = scratch.NewManager(cn.Scratch,
+				fmt.Sprintf("ij/r%d/s%d", spillSeq.Add(1), slot), node, req.Trace, obs)
+		}
+		return mgr
+	}
+	defer func() {
+		if mgr != nil {
+			mgr.ReleaseAll()
+		}
+	}()
 	leftSig := cluster.Signature(&leftFilter, project)
 	rightSig := cluster.Signature(&rightFilter, project)
 
@@ -431,6 +459,25 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		if err != nil {
 			return nil, err
 		}
+		if memCap > 0 && int64(left.Bytes()) > memCap {
+			// Out-of-core edge: the build side exceeds its admission share.
+			// The shared spilled join bounds the build, round-tripping
+			// partitions through this joiner's scratch disk; its output is
+			// byte-identical to the in-memory probe. The cached hash table
+			// is not built (or reused) for an oversized left sub-table.
+			haveHT = false
+			right, err := e.cachedFetch(ctx, cl, exec, node, ed.right, rightSig, &rightFilter, project, req.Trace, obs)
+			if err != nil {
+				return nil, err
+			}
+			if err := spillEdge(cn, spillMgr(), node, ed, left, right, req, wf, memCap, out, stats, obs); err != nil {
+				return nil, err
+			}
+			if err := finishEdge(slot, req, &out, outSchema); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if !haveHT || htLeft != ed.left {
 			start := time.Now()
 			ht, err = hashjoin.BuildParallel(left, req.JoinAttrs, wf, req.Parallelism, stats)
@@ -455,24 +502,94 @@ func (e *Engine) runJoiner(ctx context.Context, cl *cluster.Cluster, slot, exec 
 		obs.Probe(int64(right.NumRows())*int64(wf), time.Since(start))
 		req.Trace.Span(node, trace.KindProbe, ed.right.String(), start,
 			int64(right.Bytes()), int64(right.NumRows()))
-		if req.Progress != nil {
-			req.Progress.Joined.Add(1)
-		}
-		if req.Sink != nil {
-			// Stream this edge's output. Emit hands ownership of the batch
-			// to the sink, so start a fresh table for the next edge; empty
-			// probes emit nothing and reuse the table.
-			if out.NumRows() > 0 {
-				if err := req.Sink.Emit(slot, out); err != nil {
-					return nil, err
-				}
-				out = tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
-			}
-		} else if !req.Collect {
-			out.Reset()
+		if err := finishEdge(slot, req, &out, outSchema); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// spillSeq namespaces the scratch files of concurrent spilling joiners.
+var spillSeq atomic.Int64
+
+// spillPart is the salted partition hash for recursive build-side
+// splits (splitmix-style avalanche; the salt decorrelates depths).
+func spillPart(key, salt uint64) uint64 {
+	key ^= (salt + 1) * 0x9E3779B97F4A7C15
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	key *= 0xC4CEB9FE1A85EC53
+	key ^= key >> 33
+	return key
+}
+
+// Overflow recursion bounds for spilled edges.
+const (
+	spillFanout   = 8
+	spillMaxDepth = 3
+)
+
+// spillEdge joins one oversized edge through hashjoin.JoinPairSpill,
+// billing CPU, observations, and trace spans exactly like the in-memory
+// path does per leaf.
+func spillEdge(cn *cluster.ComputeNode, mgr *scratch.Manager, node string, ed edge,
+	left, right *tuple.SubTable, req engine.Request, wf int, memCap int64,
+	out *tuple.SubTable, stats *hashjoin.Stats, obs *engine.ObsCollector) error {
+
+	hooks := hashjoin.SpillHooks{
+		RoundTrip: func(lbl string, st *tuple.SubTable) (*tuple.SubTable, error) {
+			f := mgr.Create("ov-" + lbl)
+			data := scratch.EncodeRows(st)
+			err := f.AppendRows(data, int64(st.NumRows()))
+			tuple.PutBuf(data)
+			if err != nil {
+				return nil, err
+			}
+			back, err := f.ReadAll()
+			if err != nil {
+				return nil, err
+			}
+			rt, err := scratch.DecodeRows(st.Schema, back, st.ID)
+			mgr.Release(f)
+			return rt, err
+		},
+		Built: func(lbl string, st *tuple.SubTable, start time.Time) {
+			cn.SpendCPU(int64(st.NumRows()) * int64(wf))
+			obs.Build(int64(st.NumRows())*int64(wf), time.Since(start))
+			req.Trace.Span(node, trace.KindBuild, lbl, start,
+				int64(st.Bytes()), int64(st.NumRows()))
+		},
+		Probed: func(lbl string, st *tuple.SubTable, start time.Time) {
+			cn.SpendCPU(int64(st.NumRows()) * int64(wf))
+			obs.Probe(int64(st.NumRows())*int64(wf), time.Since(start))
+			req.Trace.Span(node, trace.KindProbe, lbl, start,
+				int64(st.Bytes()), int64(st.NumRows()))
+		},
+	}
+	_, _, err := hashjoin.JoinPairSpill(left, right, req.JoinAttrs,
+		ed.left.String()+"x"+ed.right.String(), wf, req.Parallelism,
+		memCap, spillFanout, spillMaxDepth, spillPart, hooks, out, stats)
+	return err
+}
+
+// finishEdge is the per-edge epilogue: progress accounting and output
+// hand-off (streaming sinks take ownership of non-empty batches).
+func finishEdge(slot int, req engine.Request, out **tuple.SubTable, outSchema tuple.Schema) error {
+	if req.Progress != nil {
+		req.Progress.Joined.Add(1)
+	}
+	if req.Sink != nil {
+		if (*out).NumRows() > 0 {
+			if err := req.Sink.Emit(slot, *out); err != nil {
+				return err
+			}
+			*out = tuple.NewSubTable(tuple.ID{Table: -1, Chunk: int32(slot)}, outSchema, 0)
+		}
+	} else if !req.Collect {
+		(*out).Reset()
+	}
+	return nil
 }
 
 // cachedFetch consults the joiner's Caching Service before asking the

@@ -88,6 +88,13 @@ func (o *joinOp) Close() error {
 	switch {
 	case oc.err == nil:
 		o.res = oc.res
+		if o.res != nil {
+			// The engines bill every scratch write/read (GH's bucket
+			// partitioning and any budget-forced build-side round-trips)
+			// through their observation collectors.
+			o.s.SpillBytes = o.res.Observed.SpillWriteBytes
+			o.s.SpillReadBytes = o.res.Observed.SpillReadBytes
+		}
 	case earlyExit:
 		// The consumer stopped first (LIMIT satisfied); the cancellation
 		// error is ours. Report what the truncated run did execute.

@@ -32,6 +32,7 @@ import (
 	"sciview/internal/metadata"
 	"sciview/internal/metrics"
 	"sciview/internal/query"
+	"sciview/internal/simio"
 	"sciview/internal/trace"
 	"sciview/internal/tuple"
 )
@@ -60,6 +61,11 @@ type Plan struct {
 	// totals after each run (accumulated once at completion, never on the
 	// per-batch path).
 	Metrics *metrics.Registry
+	// Budget is the query's total spill budget in bytes, distributed over
+	// the spill-capable operators by SetBudget. 0 means unbounded: every
+	// operator runs fully in memory, exactly as before out-of-core
+	// execution existed.
+	Budget int64
 }
 
 // maxBufferedBatches bounds the reorder sink's per-part buffer: a join
@@ -303,9 +309,9 @@ func NewJoin(eng engine.Engine, cl *cluster.Cluster, view string, req engine.Req
 	rs := engine.ProjectedSchema(rightDef.Schema, project)
 	return &JoinNode{
 		Eng: eng, Cluster: cl, View: view, Req: req, Cost: cost,
-		Parts: len(cl.Compute),
-		left:  joinInputScan(cl, req.LeftTable, ls, windowed(sideFilter(leftDef.Schema, req.Filter), req.LeftWindow()), project),
-		right: joinInputScan(cl, req.RightTable, rs, windowed(sideFilter(rightDef.Schema, req.Filter), req.RightWindow()), project),
+		Parts:  len(cl.Compute),
+		left:   joinInputScan(cl, req.LeftTable, ls, windowed(sideFilter(leftDef.Schema, req.Filter), req.LeftWindow()), project),
+		right:  joinInputScan(cl, req.RightTable, rs, windowed(sideFilter(rightDef.Schema, req.Filter), req.RightWindow()), project),
 		schema: ls.JoinResult(rs, req.JoinAttrs, "r_"),
 	}, nil
 }
@@ -351,11 +357,15 @@ func (n *JoinNode) describe() string {
 
 // annotations are the extra EXPLAIN lines under the join: the cost-model
 // decision with its constant provenance (calibrated vs static), both
-// predicted breakdowns, and — once the calibration layer is live — the
-// constants the prediction used.
+// predicted breakdowns, the constants the prediction used once the
+// calibration layer is live, and the spill line for budget-stamped
+// plans.
 func (n *JoinNode) annotations() []string {
 	c := n.Cost
 	if c == nil {
+		if n.Req.MemoryBudget > 0 {
+			return []string{spillLine(n.Req.MemoryBudget, residentBytes(n))}
+		}
 		return nil
 	}
 	calib := "static"
@@ -380,6 +390,9 @@ func (n *JoinNode) annotations() []string {
 	}
 	if c.Calibrated {
 		lines = append(lines, "constants: "+c.Constants.String())
+	}
+	if n.Req.MemoryBudget > 0 {
+		lines = append(lines, spillLine(n.Req.MemoryBudget, residentBytes(n)))
 	}
 	return lines
 }
@@ -450,6 +463,14 @@ type AggregateNode struct {
 	// the materialized per-joiner aggregation. False folds every batch
 	// into a single partial (a table scan's rows are one partition).
 	Partitioned bool
+	// SpillBudget/SpillDisk/SpillOwner/SpillTrace are stamped by
+	// Plan.SetBudget: when the estimated group state exceeds the budget,
+	// the operator partitions raw rows to the scratch disk and replays
+	// them partition by partition (byte-identical to the in-memory fold).
+	SpillBudget int64
+	SpillDisk   *simio.Disk
+	SpillOwner  string
+	SpillTrace  *trace.Recorder
 	schema      tuple.Schema
 }
 
@@ -486,12 +507,40 @@ func (n *AggregateNode) describe() string {
 	return s
 }
 
+// annotations is the aggregate's EXPLAIN spill line (budget-stamped
+// plans only).
+func (n *AggregateNode) annotations() []string {
+	if n.SpillBudget <= 0 {
+		return nil
+	}
+	return []string{spillLine(n.SpillBudget, residentBytes(n))}
+}
+
+// spillLine renders the EXPLAIN spill annotation: the operator's budget
+// share, its estimated working set, and the execution mode the estimate
+// selects.
+func spillLine(budget, est int64) string {
+	mode := "in-mem"
+	if est > budget {
+		mode = "external"
+	}
+	return fmt.Sprintf("spill: budget=%s est=%s mode=%s", fmtBytes(budget), fmtBytes(est), mode)
+}
+
 // SortNode absorbs the child's batches and emits them fully ordered, as
 // one batch. The stable sort over the arrival-ordered rows reproduces the
 // materialized path's ordering exactly.
 type SortNode struct {
 	Child Node
 	Keys  []query.OrderKey
+	// SpillBudget/SpillDisk/SpillOwner/SpillTrace are stamped by
+	// Plan.SetBudget: when the accumulated input exceeds the budget, the
+	// operator generates sorted runs on the scratch disk and merges them
+	// with a loser tree (byte-identical to the in-memory stable sort).
+	SpillBudget int64
+	SpillDisk   *simio.Disk
+	SpillOwner  string
+	SpillTrace  *trace.Recorder
 }
 
 // NewSort validates the keys against the child's schema.
@@ -518,6 +567,16 @@ func (n *SortNode) describe() string {
 		}
 	}
 	return fmt.Sprintf("Sort(%s)", strings.Join(keys, ", "))
+}
+
+// annotations is the sort's EXPLAIN spill line (budget-stamped plans
+// only). Sort spills dynamically — the estimate decides the displayed
+// mode, the actual accumulated bytes decide at run time.
+func (n *SortNode) annotations() []string {
+	if n.SpillBudget <= 0 {
+		return nil
+	}
+	return []string{spillLine(n.SpillBudget, estRows(n.Child)*int64(n.Schema().RecordSize()))}
 }
 
 // LimitNode truncates the stream after N rows. Reaching the limit stops
@@ -629,7 +688,11 @@ func residentBytes(n Node) int64 {
 		return estRows(t.Child) * rec
 	case *AggregateNode:
 		// Per-group accumulators; bounded by the (deduplicated) group
-		// count, estimated conservatively from the input.
+		// count, estimated conservatively from the input. A global
+		// aggregate holds exactly one group.
+		if len(t.GroupBy) == 0 {
+			return rec
+		}
 		rows := estRows(t.Child)
 		if rows > 1<<16 {
 			rows = 1 << 16
@@ -639,6 +702,128 @@ func residentBytes(n Node) int64 {
 		// Pass-through operators hold at most one batch.
 		return maxBufferedBatches * 4096
 	}
+}
+
+// ---------------------------------------------------------------------
+// Spill budget
+
+// degradedFloor is the minimum resident charge a spilling operator is
+// billed in DegradedEstimate: even fully external execution keeps merge
+// buffers and partition staging resident.
+const degradedFloor = 64 << 10
+
+// spillable reports whether a node's operator can run out-of-core. A
+// global aggregate (no GROUP BY) holds a single accumulator row and
+// never needs to spill.
+func spillable(n Node) bool {
+	switch t := n.(type) {
+	case *SortNode, *JoinNode:
+		return true
+	case *AggregateNode:
+		return len(t.GroupBy) > 0
+	}
+	return false
+}
+
+// SetBudget distributes a total spill budget (bytes) evenly over the
+// plan's spill-capable operators: sorts and aggregates get a scratch
+// disk assignment (round-robin over the compute nodes) and a budget
+// share; the join's share rides on its engine request, where the engine
+// divides it among its per-node QES instances. Budget <= 0 clears
+// nothing and keeps the plan fully in-memory.
+func (p *Plan) SetBudget(budget int64) {
+	p.Budget = budget
+	if budget <= 0 {
+		return
+	}
+	var spills []Node
+	var cl *cluster.Cluster
+	var walk func(n Node)
+	walk = func(n Node) {
+		if spillable(n) {
+			spills = append(spills, n)
+		}
+		switch t := n.(type) {
+		case *JoinNode:
+			if cl == nil {
+				cl = t.Cluster
+			}
+		case *ScanNode:
+			if cl == nil {
+				cl = t.Cluster
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if len(spills) == 0 {
+		return
+	}
+	share := budget / int64(len(spills))
+	if share < 1 {
+		share = 1
+	}
+	for i, n := range spills {
+		var disk *simio.Disk
+		var owner string
+		if cl != nil && len(cl.Compute) > 0 {
+			j := i % len(cl.Compute)
+			disk = cl.Compute[j].Scratch
+			owner = fmt.Sprintf("compute-%d", j)
+		}
+		switch t := n.(type) {
+		case *SortNode:
+			t.SpillBudget, t.SpillDisk, t.SpillOwner, t.SpillTrace = share, disk, owner, p.Trace
+		case *AggregateNode:
+			t.SpillBudget, t.SpillDisk, t.SpillOwner, t.SpillTrace = share, disk, owner, p.Trace
+		case *JoinNode:
+			t.Req.MemoryBudget = share
+		}
+	}
+}
+
+// DegradedEstimate is MemoryEstimate under the stamped budget: each
+// spill-capable operator's resident charge is capped at its budget
+// share (plus the degraded floor for merge/staging buffers), because in
+// degraded mode the overflow lives on the scratch disk rather than in
+// memory. Admission control weighs degraded queries with this value.
+func (p *Plan) DegradedEstimate() int64 {
+	if p.Budget <= 0 {
+		return p.MemoryEstimate()
+	}
+	var nSpill int64
+	var count func(n Node)
+	count = func(n Node) {
+		if spillable(n) {
+			nSpill++
+		}
+		for _, c := range n.Children() {
+			count(c)
+		}
+	}
+	count(p.Root)
+	share := p.Budget
+	if nSpill > 0 {
+		share = p.Budget / nSpill
+	}
+	var total int64
+	var walk func(n Node)
+	walk = func(n Node) {
+		r := residentBytes(n)
+		if spillable(n) {
+			if cap := share + degradedFloor; r > cap {
+				r = cap
+			}
+		}
+		total += r
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return total
 }
 
 // estRows estimates a node's output cardinality.

@@ -70,6 +70,13 @@ func Run(ctx context.Context, p *Plan) (*tuple.SubTable, *engine.Result, error) 
 		p.Metrics.Counter("sciview_operator_rows_total", "Rows emitted per operator kind.", "op", kind).Add(stats[i].Rows)
 		p.Metrics.Counter("sciview_operator_bytes_total", "Bytes emitted per operator kind.", "op", kind).Add(stats[i].Bytes)
 		p.Metrics.Counter("sciview_operator_busy_microseconds_total", "Busy time per operator kind, in microseconds.", "op", kind).Add(stats[i].Busy.Microseconds())
+		if stats[i].SpillBytes > 0 || stats[i].SpillReadBytes > 0 {
+			p.Metrics.Counter("sciview_spill_bytes_total", "Scratch bytes written by out-of-core operators, per kind.", "op", kind).Add(stats[i].SpillBytes)
+			p.Metrics.Counter("sciview_spill_read_bytes_total", "Scratch bytes read back by out-of-core operators, per kind.", "op", kind).Add(stats[i].SpillReadBytes)
+		}
+		if stats[i].SpillParts > 0 {
+			p.Metrics.Counter("sciview_spill_partitions_total", "Scratch files (runs, partitions) created by out-of-core operators, per kind.", "op", kind).Add(stats[i].SpillParts)
+		}
 	}
 	var res *engine.Result
 	for _, op := range ops {

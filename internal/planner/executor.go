@@ -37,6 +37,11 @@ type Executor struct {
 	// Metrics, when non-nil, is threaded into every lowered plan so runs
 	// accumulate per-operator totals into the live registry.
 	Metrics *metrics.Registry
+	// MemBudget, when positive, stamps every lowered plan with a memory
+	// budget: blocking operators (sort, aggregation, join builds) spill
+	// to compute-node scratch disks instead of exceeding their share.
+	// Results are byte-identical to unbudgeted execution.
+	MemBudget int64
 
 	// mu guards views: concurrent Exec calls through the service layer
 	// may interleave CREATE VIEW with SELECTs.

@@ -124,6 +124,9 @@ func (ex *Executor) lowerSelect(s *query.Select) (*Lowered, error) {
 		node = plan.NewLimit(node, s.Limit)
 	}
 	l.Plan = &plan.Plan{Root: node, OutID: outID, Trace: ex.Trace, Metrics: ex.Metrics}
+	if ex.MemBudget > 0 {
+		l.Plan.SetBudget(ex.MemBudget)
+	}
 	return l, nil
 }
 

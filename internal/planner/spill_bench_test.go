@@ -1,0 +1,80 @@
+package planner
+
+import (
+	"testing"
+
+	"sciview/internal/cluster"
+	"sciview/internal/oilres"
+	"sciview/internal/partition"
+)
+
+// BenchmarkSpillSweep prices graceful degradation: the same
+// sort + grouped-aggregate + join query at shrinking memory budgets,
+// from unbudgeted (everything resident) through partially degraded (the
+// aggregate spills) down to fully out-of-core (sort runs, aggregation
+// partitions and join build round-trips all on scratch). Results are
+// byte-identical at every point — the sweep measures what the budget
+// costs in wall-clock and how many bytes hit the scratch disks
+// (spillMB).
+func BenchmarkSpillSweep(b *testing.B) {
+	ds, err := oilres.Generate(oilres.Config{
+		Grid: partition.D(32, 32, 8), LeftPart: partition.D(4, 4, 4), RightPart: partition.D(4, 4, 4),
+		StorageNodes: 2, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		StorageNodes: 2, ComputeNodes: 4, CacheBytes: 32 << 20,
+	}, ds.Catalog, ds.Stores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := NewExecutor(cl)
+	ex.Planner.AlphaBuild = 80e-9
+	ex.Planner.AlphaLookup = 40e-9
+	ex.Planner.Force = "ij"
+	if _, err := ex.Exec("CREATE VIEW V1 AS SELECT * FROM T1 JOIN T2 ON (x, y, z)"); err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT x, y, COUNT(*), MIN(wp), MAX(oilp) FROM V1 GROUP BY x, y ORDER BY x DESC, y"
+
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"inmem", 0},
+		{"1MiB", 1 << 20},
+		{"64KiB", 64 << 10},
+		{"4KiB", 4 << 10},
+	}
+	var wantRows int
+	for _, tc := range budgets {
+		b.Run("budget="+tc.name, func(b *testing.B) {
+			ex.MemBudget = tc.budget
+			var spill int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := ex.Exec(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantRows == 0 {
+					wantRows = out.Rows.NumRows()
+				}
+				if out.Rows.NumRows() != wantRows {
+					b.Fatalf("rows = %d, want %d", out.Rows.NumRows(), wantRows)
+				}
+				if out.Result != nil {
+					for _, st := range out.Result.Operators {
+						spill += st.SpillBytes
+					}
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(spill)/float64(b.N)/(1<<20), "spillMB")
+			}
+		})
+	}
+}

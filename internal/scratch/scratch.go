@@ -1,0 +1,344 @@
+// Package scratch is the shared spill-file manager for out-of-core
+// operators: external sort runs, aggregation partitions, and hash-join
+// build partitions all go through one Manager per (operator, compute
+// node) pair. The manager owns naming, lifecycle (every file it creates
+// is deleted by Release/ReleaseAll, so a plan's Close reaps everything
+// even after faults or early exit), telemetry (spill bytes/durations
+// into the engine observation collector and trace spans), and — the
+// safety property the fault-injection suite leans on — size-verified
+// reads: a file whose store size disagrees with the bytes successfully
+// appended fails the read loudly instead of silently truncating the
+// query result.
+package scratch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sciview/internal/engine"
+	"sciview/internal/simio"
+	"sciview/internal/trace"
+	"sciview/internal/tuple"
+)
+
+// readChunk is the Reader's sequential fetch granularity: large enough
+// to amortize the modeled per-read throttle bookkeeping, small enough
+// that a k-way merge over many runs stays within a few hundred KiB of
+// buffer per run.
+const readChunk = 256 << 10
+
+// Manager pools scratch files on one compute node's spill disk under a
+// common name prefix. All methods are safe for concurrent use.
+type Manager struct {
+	disk   *simio.Disk
+	prefix string
+	node   string
+	rec    *trace.Recorder
+	obs    *engine.ObsCollector
+
+	mu    sync.Mutex
+	files map[string]*File
+	seq   int64
+
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	created      atomic.Int64
+}
+
+// NewManager returns a manager writing under prefix on disk. node names
+// the owner in trace spans; rec and obs may be nil.
+func NewManager(disk *simio.Disk, prefix, node string, rec *trace.Recorder, obs *engine.ObsCollector) *Manager {
+	return &Manager{
+		disk: disk, prefix: prefix, node: node, rec: rec, obs: obs,
+		files: make(map[string]*File),
+	}
+}
+
+// Create opens a fresh scratch file with a unique name derived from
+// label. The file exists in the store only once something is appended.
+func (m *Manager) Create(label string) *File {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	name := fmt.Sprintf("%s/%d-%s", m.prefix, m.seq, label)
+	f := &File{m: m, name: name}
+	m.files[name] = f
+	m.created.Add(1)
+	return f
+}
+
+// File returns the scratch file with exactly the given label under the
+// manager's prefix, creating its handle on first use — the
+// deterministic-name variant the GH bucket partitioner uses.
+func (m *Manager) File(label string) *File {
+	name := m.prefix + "/" + label
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		f = &File{m: m, name: name}
+		m.files[name] = f
+		m.created.Add(1)
+	}
+	return f
+}
+
+// Release deletes one file from the store and forgets it. Deletion is
+// untimed and never consults the fault hook, so cleanup works on a
+// "crashed" node.
+func (m *Manager) Release(f *File) {
+	if f == nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.files, f.name)
+	m.mu.Unlock()
+	_ = m.disk.Delete(f.name)
+}
+
+// ReleaseAll deletes every live file. Idempotent; safe after faults.
+func (m *Manager) ReleaseAll() {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	m.files = make(map[string]*File)
+	m.mu.Unlock()
+	for _, name := range names {
+		_ = m.disk.Delete(name)
+	}
+}
+
+// Live returns the names of files not yet released (hygiene audits).
+func (m *Manager) Live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	return names
+}
+
+// BytesWritten returns the total bytes successfully appended.
+func (m *Manager) BytesWritten() int64 { return m.bytesWritten.Load() }
+
+// BytesRead returns the total bytes read back.
+func (m *Manager) BytesRead() int64 { return m.bytesRead.Load() }
+
+// Files returns how many scratch files the manager ever created — the
+// spill-partition count surfaced through OpStat.SpillParts.
+func (m *Manager) Files() int64 { return m.created.Load() }
+
+// File is one scratch file. A File is written by one goroutine at a
+// time (concurrent writers to distinct files are fine); its own mutex
+// guards the size/broken bookkeeping against concurrent readers.
+type File struct {
+	m    *Manager
+	name string
+
+	mu     sync.Mutex
+	size   int64
+	broken error
+}
+
+// Name is the file's full store name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the bytes successfully appended so far.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Append extends the file, billing the spill write. On error the file
+// is marked broken: the store may hold a partial record (a short write
+// really does persist a prefix), so every subsequent operation fails
+// rather than ever serving truncated data.
+func (f *File) Append(data []byte) error { return f.AppendRows(data, 0) }
+
+// AppendRows is Append with a row count for the trace span.
+func (f *File) AppendRows(data []byte, rows int64) error {
+	f.mu.Lock()
+	if f.broken != nil {
+		err := f.broken
+		f.mu.Unlock()
+		return fmt.Errorf("scratch: %s is broken by an earlier write error: %w", f.name, err)
+	}
+	f.mu.Unlock()
+	start := time.Now()
+	if err := f.m.disk.Append(f.name, data); err != nil {
+		f.mu.Lock()
+		f.broken = err
+		f.mu.Unlock()
+		return fmt.Errorf("scratch: append %s: %w", f.name, err)
+	}
+	f.mu.Lock()
+	f.size += int64(len(data))
+	f.mu.Unlock()
+	f.m.bytesWritten.Add(int64(len(data)))
+	f.m.obs.SpillWrite(int64(len(data)), time.Since(start))
+	f.m.rec.Span(f.m.node, trace.KindSpill, f.name, start, int64(len(data)), rows)
+	return nil
+}
+
+// verify checks the file is intact: not broken, and the store holds
+// exactly the bytes the successful appends recorded.
+func (f *File) verify() (int64, error) {
+	f.mu.Lock()
+	size, broken := f.size, f.broken
+	f.mu.Unlock()
+	if broken != nil {
+		return 0, fmt.Errorf("scratch: %s is broken by an earlier write error: %w", f.name, broken)
+	}
+	stored, err := f.m.disk.Size(f.name)
+	if err != nil {
+		if size == 0 {
+			return 0, nil // never written, never stored: empty is intact
+		}
+		return 0, fmt.Errorf("scratch: stat %s: %w", f.name, err)
+	}
+	if stored != size {
+		return 0, fmt.Errorf("scratch: %s holds %d bytes, expected %d (truncated or partially written)",
+			f.name, stored, size)
+	}
+	return size, nil
+}
+
+// ReadAll reads the whole file back, billing the spill read. The read
+// fails if the stored size disagrees with the appended size.
+func (f *File) ReadAll() ([]byte, error) {
+	size, err := f.verify()
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	data, err := f.m.disk.ReadRange(f.name, 0, -1)
+	if err != nil {
+		return nil, fmt.Errorf("scratch: read %s: %w", f.name, err)
+	}
+	if int64(len(data)) != size {
+		return nil, fmt.Errorf("scratch: read %s returned %d bytes, expected %d", f.name, len(data), size)
+	}
+	f.m.bytesRead.Add(size)
+	f.m.obs.SpillRead(size, time.Since(start))
+	f.m.rec.Span(f.m.node, trace.KindBucketRead, f.name, start, size, 0)
+	return data, nil
+}
+
+// Open returns a buffered sequential reader over the file, verifying
+// the stored size up front.
+func (f *File) Open() (*Reader, error) {
+	size, err := f.verify()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{f: f, end: size}, nil
+}
+
+// Reader streams a scratch file in readChunk pieces, billing each piece
+// as spill-read traffic. It implements io.Reader; use io.ReadFull for
+// record framing.
+type Reader struct {
+	f   *File
+	off int64
+	end int64
+	buf []byte
+	pos int
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.buf) {
+		if r.off >= r.end {
+			return 0, io.EOF
+		}
+		n := r.end - r.off
+		if n > readChunk {
+			n = readChunk
+		}
+		start := time.Now()
+		data, err := r.f.m.disk.ReadRange(r.f.name, r.off, n)
+		if err != nil {
+			return 0, fmt.Errorf("scratch: read %s@%d: %w", r.f.name, r.off, err)
+		}
+		if int64(len(data)) != n {
+			return 0, fmt.Errorf("scratch: read %s@%d returned %d bytes, expected %d (truncated)",
+				r.f.name, r.off, len(data), n)
+		}
+		r.f.m.bytesRead.Add(n)
+		r.f.m.obs.SpillRead(n, time.Since(start))
+		r.f.m.rec.Span(r.f.m.node, trace.KindBucketRead, r.f.name, start, n, 0)
+		r.off += n
+		r.buf, r.pos = data, 0
+	}
+	n := copy(p, r.buf[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// Remaining returns the bytes left to stream (buffered + unread).
+func (r *Reader) Remaining() int64 {
+	return int64(len(r.buf)-r.pos) + (r.end - r.off)
+}
+
+// ---------------------------------------------------------------------
+// Row codec
+
+// Spilled rows are raw row-major float32 records: the schema is known to
+// both the writing and reading phase, so no framing is needed, and the
+// on-disk byte count equals rows × record size — the quantity the cost
+// model charges for.
+
+// EncodeRows writes st's rows into a pooled buffer (tuple.GetBuf): both
+// simio stores copy on Append, so spill callers release the buffer with
+// tuple.PutBuf right after the write and steady-state spilling
+// allocates nothing.
+func EncodeRows(st *tuple.SubTable) []byte {
+	na := st.Schema.NumAttrs()
+	size := st.NumRows() * na * 4
+	out := tuple.GetBuf(size)[:size]
+	off := 0
+	for r := 0; r < st.NumRows(); r++ {
+		for c := 0; c < na; c++ {
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(st.Value(r, c)))
+			off += 4
+		}
+	}
+	return out
+}
+
+// DecodeRows reconstructs a sub-table from EncodeRows output. id labels
+// the decoded batch.
+func DecodeRows(schema tuple.Schema, data []byte, id tuple.ID) (*tuple.SubTable, error) {
+	rec := schema.RecordSize()
+	if rec == 0 || len(data)%rec != 0 {
+		return nil, fmt.Errorf("scratch: %d bytes is not a multiple of record size %d", len(data), rec)
+	}
+	rows := len(data) / rec
+	na := schema.NumAttrs()
+	// One backing array for all columns keeps decode at two allocations.
+	backing := make([]float32, na*rows)
+	cols := make([][]float32, na)
+	for c := range cols {
+		cols[c] = backing[c*rows : (c+1)*rows : (c+1)*rows]
+	}
+	off := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < na; c++ {
+			cols[c][r] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+	}
+	return tuple.FromColumns(id, schema, cols)
+}

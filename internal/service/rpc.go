@@ -44,6 +44,7 @@ type wireResult struct {
 	ElapsedNs   int64
 	QueueWaitNs int64
 	Weight      int64
+	Degraded    bool
 	Traffic     cluster.Traffic
 	Cache       cache.Stats
 	Health      cluster.HealthStats
@@ -102,6 +103,7 @@ func (s *Service) handle(method string, payload []byte) ([]byte, error) {
 			ElapsedNs:   int64(resp.Result.Elapsed),
 			QueueWaitNs: int64(resp.QueueWait),
 			Weight:      resp.Weight,
+			Degraded:    resp.Degraded,
 			Traffic:     resp.Result.Traffic,
 			Cache:       resp.Result.Cache,
 			Health:      resp.Result.Health,
@@ -172,6 +174,7 @@ func (c *Client) Query(ctx context.Context, q Query) (*Response, error) {
 		},
 		QueueWait: time.Duration(wr.QueueWaitNs),
 		Weight:    wr.Weight,
+		Degraded:  wr.Degraded,
 	}, nil
 }
 

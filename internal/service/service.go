@@ -43,6 +43,10 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrQueueFull reports that the admission queue is at MaxQueue.
 	ErrQueueFull = errors.New("service: queue full")
+	// ErrOverBudget reports a Strict-mode rejection: the query's
+	// working-set estimate exceeds the memory budget and degraded
+	// (spilling) execution is disabled.
+	ErrOverBudget = errors.New("service: query estimate exceeds memory budget")
 )
 
 // Config tunes the admission controller.
@@ -51,9 +55,16 @@ type Config struct {
 	MaxInFlight int
 	// MemoryBudget bounds the summed working-set estimates of in-flight
 	// queries, in bytes (0 = unlimited). A single query estimated above
-	// the budget is clamped to it and therefore admitted only when
-	// nothing else is running.
+	// the budget is admitted in degraded mode: its plan is stamped with
+	// the budget so blocking operators (sort, aggregation, join builds)
+	// spill to scratch disks instead of holding their full working set,
+	// and the admission charge drops to the degraded (spilling) resident
+	// estimate. Results are byte-identical to in-memory execution.
 	MemoryBudget int64
+	// Strict disables degraded admission: a query whose estimate exceeds
+	// MemoryBudget is rejected with ErrOverBudget instead of being run
+	// out-of-core.
+	Strict bool
 	// MaxQueue bounds waiting submissions; excess ones fail fast with
 	// ErrQueueFull (0 = unlimited).
 	MaxQueue int
@@ -108,15 +119,20 @@ type Response struct {
 	QueueWait time.Duration
 	// Weight is the working-set estimate charged against the budget.
 	Weight int64
+	// Degraded reports that the query ran out-of-core: its estimate
+	// exceeded the memory budget, so its operators were budgeted to
+	// spill and the charge above is the degraded resident estimate.
+	Degraded bool
 }
 
 // Stats is the service-level accounting snapshot.
 type Stats struct {
 	Submitted int64 // accepted into the queue
 	Admitted  int64 // dispatched to an engine
-	Rejected  int64 // refused: queue full or service closed
+	Rejected  int64 // refused: queue full, service closed, or over budget (Strict)
 	Cancelled int64 // context ended while queued or running
 	Completed int64
+	Degraded  int64 // admitted in degraded (spilling) mode
 	Failed    int64 // engine error other than cancellation
 	// Recovered counts completed queries whose execution window saw
 	// fault-recovery activity (retries, failovers, node recoveries). Under
@@ -172,6 +188,7 @@ type svcMetrics struct {
 	cancelled  *metrics.Counter
 	completed  *metrics.Counter
 	failed     *metrics.Counter
+	degraded   *metrics.Counter
 	queueWait  *metrics.Histogram
 	runLatency *metrics.Histogram
 }
@@ -206,6 +223,7 @@ func New(cl *cluster.Cluster, cfg Config) *Service {
 		cancelled:  reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "cancelled"),
 		completed:  reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "completed"),
 		failed:     reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "failed"),
+		degraded:   reg.Counter("sciview_queries_total", "Query submissions by outcome.", "outcome", "degraded"),
 		queueWait:  reg.Histogram("sciview_queue_wait_seconds", "Admission queue wait of admitted queries.", nil),
 		runLatency: reg.Histogram("sciview_query_seconds", "End-to-end execution latency of admitted queries.", nil),
 	}
@@ -239,12 +257,29 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, queueWait, err := s.admit(ctx, q.Priority, s.weightFor(dec.Params))
+	weight := rawWeight(dec.Params)
+	degraded := s.cfg.MemoryBudget > 0 && weight > s.cfg.MemoryBudget
+	if degraded {
+		if s.cfg.Strict {
+			s.markRejected()
+			return nil, fmt.Errorf("service: estimate %d bytes over budget %d: %w",
+				weight, s.cfg.MemoryBudget, ErrOverBudget)
+		}
+		// Degraded admission: the engine bounds its build sides to the
+		// budget (spilling oversized partitions through scratch), so the
+		// charge is the budget itself, not the unbounded working set.
+		weight = s.cfg.MemoryBudget
+		s.markDegraded()
+	}
+	w, queueWait, err := s.admit(ctx, q.Priority, weight)
 	if err != nil {
 		return nil, err
 	}
 	req := q.Req
 	req.Shared = true
+	if degraded && (req.MemoryBudget == 0 || req.MemoryBudget > s.cfg.MemoryBudget) {
+		req.MemoryBudget = s.cfg.MemoryBudget
+	}
 	if req.Prefetch == 0 {
 		req.Prefetch = s.cfg.Prefetch
 	}
@@ -276,6 +311,7 @@ func (s *Service) Submit(ctx context.Context, q Query) (*Response, error) {
 		Decision:  dec,
 		QueueWait: queueWait,
 		Weight:    w.weight,
+		Degraded:  degraded,
 	}, nil
 }
 
@@ -309,8 +345,27 @@ func (s *Service) SubmitSQL(ctx context.Context, ex *planner.Executor, q SQL) (*
 	if weight < 1 {
 		weight = 1
 	}
+	degraded := false
 	if s.cfg.MemoryBudget > 0 && weight > s.cfg.MemoryBudget {
-		weight = s.cfg.MemoryBudget
+		if s.cfg.Strict {
+			s.markRejected()
+			return nil, fmt.Errorf("service: estimate %d bytes over budget %d: %w",
+				weight, s.cfg.MemoryBudget, ErrOverBudget)
+		}
+		// Degraded admission: stamp the plan with the budget so its
+		// blocking operators run out-of-core, and charge the degraded
+		// (spilling) resident estimate instead of rejecting or running
+		// the query alone at full width. Results are byte-identical.
+		l.Plan.SetBudget(s.cfg.MemoryBudget)
+		weight = l.Plan.DegradedEstimate()
+		if weight < 1 {
+			weight = 1
+		}
+		if weight > s.cfg.MemoryBudget {
+			weight = s.cfg.MemoryBudget
+		}
+		degraded = true
+		s.markDegraded()
 	}
 	w, queueWait, err := s.admit(ctx, q.Priority, weight)
 	if err != nil {
@@ -353,6 +408,7 @@ func (s *Service) SubmitSQL(ctx context.Context, ex *planner.Executor, q SQL) (*
 		Rows:      out.Rows,
 		QueueWait: queueWait,
 		Weight:    w.weight,
+		Degraded:  degraded,
 	}, nil
 }
 
@@ -414,20 +470,31 @@ func (s *Service) admit(ctx context.Context, pri int, weight int64) (*waiter, ti
 	return w, time.Since(enqueued), nil
 }
 
-// weightFor estimates a query's resident working set from the cost-model
+// rawWeight estimates a query's resident working set from the cost-model
 // parameters: the build (left) side, which IJ caches and GH buffers
-// across the cluster, plus one streaming right sub-table per joiner. The
-// estimate is clamped to the budget so an oversized query can still run —
-// by itself.
-func (s *Service) weightFor(p costmodel.Params) int64 {
+// across the cluster, plus one streaming right sub-table per joiner.
+func rawWeight(p costmodel.Params) int64 {
 	w := p.T*int64(p.RSR) + int64(p.Nj)*p.CS*int64(p.RSS)
 	if w < 1 {
 		w = 1
 	}
-	if s.cfg.MemoryBudget > 0 && w > s.cfg.MemoryBudget {
-		w = s.cfg.MemoryBudget
-	}
 	return w
+}
+
+// markDegraded counts one degraded-mode admission.
+func (s *Service) markDegraded() {
+	s.mu.Lock()
+	s.stats.Degraded++
+	s.mu.Unlock()
+	s.met.degraded.Inc()
+}
+
+// markRejected counts one strict-mode over-budget refusal.
+func (s *Service) markRejected() {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	s.met.rejected.Inc()
 }
 
 // dispatchLocked admits queued queries while capacity allows. Caller
@@ -558,6 +625,9 @@ func (st Stats) String() string {
 		st.Submitted, st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected,
 		st.QueuePeak, st.InFlightPeak, st.QueueWait.Round(time.Millisecond),
 		dedup*100, st.Dedup.Shared, st.Dedup.Leads)
+	if st.Degraded > 0 {
+		s += fmt.Sprintf(" | degraded %d (over budget, spilled)", st.Degraded)
+	}
 	if healthActivity(st.Health)+st.Health.BreakerTrips > 0 {
 		s += fmt.Sprintf(" | health: %d retries %d failovers %d trips %d recoveries %d rebuilds, %d queries recovered",
 			st.Health.Retries, st.Health.Failovers, st.Health.BreakerTrips,

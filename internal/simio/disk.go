@@ -1,9 +1,21 @@
 package simio
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 )
+
+// PartialWriteError marks an injected short write: the device accepted a
+// prefix of the data and then failed. Disk.Append honors it by really
+// persisting half the payload before returning the error, so recovery
+// code is exercised against genuinely truncated files rather than
+// cleanly absent ones.
+type PartialWriteError struct{ Rule string }
+
+func (e *PartialWriteError) Error() string {
+	return "simio: short write (fault " + e.Rule + ")"
+}
 
 // Counters accumulates byte traffic for cost-model validation. All fields
 // are updated atomically and may be read while a run is in progress.
@@ -112,10 +124,20 @@ func (d *Disk) Put(name string, data []byte) error {
 	return nil
 }
 
-// Append extends an object through the write throttle.
+// Append extends an object through the write throttle. An injected
+// PartialWriteError persists the first half of the payload before the
+// error surfaces — a short write that really truncates.
 func (d *Disk) Append(name string, data []byte) error {
 	if d.Fault != nil {
 		if err := d.Fault("write"); err != nil {
+			var pw *PartialWriteError
+			if errors.As(err, &pw) && len(data) > 0 {
+				half := data[:len(data)/2]
+				Wait(d.write.ReserveFrom(d.Owner, int64(len(half))))
+				if aerr := d.store.Append(name, half); aerr == nil {
+					d.Counters.BytesWritten.Add(int64(len(half)))
+				}
+			}
 			return err
 		}
 	}

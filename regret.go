@@ -43,7 +43,7 @@ type RegretQuery struct {
 	AdaptiveCalibrated bool   `json:"adaptive_calibrated"`
 	// StaticCorrect / AdaptiveCorrect: the choice was the measured-faster
 	// engine, or within the tie band of it (no meaningful regret).
-	StaticCorrect  bool `json:"static_correct"`
+	StaticCorrect   bool `json:"static_correct"`
 	AdaptiveCorrect bool `json:"adaptive_correct"`
 	// StaticRegret / AdaptiveRegret are seconds lost versus the faster
 	// engine (zero when correct).

@@ -64,6 +64,11 @@ type ClusterSpec struct {
 	// (cache, breaker, fetch and per-operator instruments); serve it with
 	// metrics.Handler or metrics.Serve. Nil disables instrumentation.
 	Metrics *metrics.Registry
+	// MemBudget, when positive, caps each query's resident working set:
+	// blocking operators (sort, grouped aggregation, join builds) spill
+	// to compute-node scratch disks instead of exceeding their share.
+	// Results are byte-identical to unbudgeted execution.
+	MemBudget int64
 }
 
 // System is a running view-creation framework instance: an emulated
@@ -125,6 +130,7 @@ func NewSystem(ds *Dataset, spec ClusterSpec) (*System, error) {
 	}
 	ex := planner.NewExecutor(cl)
 	ex.Metrics = spec.Metrics
+	ex.MemBudget = spec.MemBudget
 	return &System{cluster: cl, executor: ex, dataset: ds, metrics: spec.Metrics}, nil
 }
 
@@ -214,6 +220,10 @@ type PlanInfo struct {
 	Measured time.Duration
 	// Tuples is the number of result tuples the join produced.
 	Tuples int64
+	// SpillBytes and SpillReadBytes total the scratch traffic the run's
+	// out-of-core operators caused (zero for unbudgeted or fitting runs).
+	SpillBytes     int64
+	SpillReadBytes int64
 }
 
 // Result is the outcome of one statement.
@@ -254,6 +264,10 @@ func (s *System) Exec(sql string) (*Result, error) {
 			PredictGH:  durationOf(out.Decision.PredictGH.Total),
 			Measured:   out.Result.Elapsed,
 			Tuples:     out.Result.Tuples,
+		}
+		for _, st := range out.Result.Operators {
+			res.Plan.SpillBytes += st.SpillBytes
+			res.Plan.SpillReadBytes += st.SpillReadBytes
 		}
 	}
 	return res, nil

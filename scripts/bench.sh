@@ -25,8 +25,13 @@
 # measured winner. The harness writes BENCH_pr9.json itself (decision
 # accuracy and wall-clock regret per layer); adaptive accuracy must stay
 # >= 0.80.
+# A seventh leg prices out-of-core execution: one sort + grouped-aggregate
+# + join query swept from unbudgeted down to a 4 KiB budget (sort runs,
+# aggregation partitions and join build all on scratch), written to
+# BENCH_pr10.json with the per-budget wall-clock ratios vs in-memory and
+# the scratch volume each budget causes.
 #
-#   scripts/bench.sh [pr3.json] [pr4.json] [pr5.json] [pr6.json] [pr8.json] [pr9.json]
+#   scripts/bench.sh [pr3.json] [pr4.json] [pr5.json] [pr6.json] [pr8.json] [pr9.json] [pr10.json]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,12 +41,14 @@ out5="${3:-BENCH_pr5.json}"
 out6="${4:-BENCH_pr6.json}"
 out8="${5:-BENCH_pr8.json}"
 out9="${6:-BENCH_pr9.json}"
+out10="${7:-BENCH_pr10.json}"
 raw="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
 raw6="$(mktemp)"
 raw8="$(mktemp)"
-trap 'rm -f "$raw" "$raw4" "$raw5" "$raw6" "$raw8"' EXIT
+raw10="$(mktemp)"
+trap 'rm -f "$raw" "$raw4" "$raw5" "$raw6" "$raw8" "$raw10"' EXIT
 
 echo "== hashjoin kernels (Build/Probe: map vs flat, serial vs parallel)"
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkProbe' -benchtime 200x -benchmem \
@@ -248,3 +255,40 @@ awk '/"adaptive_accuracy"/ {
     if (acc < 0.80) { printf "adaptive_accuracy %.2f below 0.80 floor\n", acc; exit 1 }
     printf "adaptive_accuracy %.2f >= 0.80\n", acc
 }' "$out9"
+
+echo "== out-of-core sweep (sort+aggregate+join at shrinking budgets vs in-memory)"
+go test -run '^$' -bench BenchmarkSpillSweep -benchtime 5x \
+    ./internal/planner/ | tee "$raw10"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($i == "spillMB") mb[name] = $(i-1)
+    }
+    order[++n] = name
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", k, ns[k]
+        if (k in mb) printf ", \"spill_mb\": %s", mb[k]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"ratios\": {\n"
+    base = ns["BenchmarkSpillSweep/budget=inmem"]
+    b1 = ns["BenchmarkSpillSweep/budget=1MiB"]
+    b64 = ns["BenchmarkSpillSweep/budget=64KiB"]
+    b4 = ns["BenchmarkSpillSweep/budget=4KiB"]
+    if (base && b1)  printf "    \"spill_1MiB_wallclock_ratio\": %.2f,\n", b1 / base
+    if (base && b64) printf "    \"spill_64KiB_wallclock_ratio\": %.2f,\n", b64 / base
+    if (base && b4)  printf "    \"spill_4KiB_wallclock_ratio\": %.2f\n", b4 / base
+    printf "  }\n}\n"
+}
+' "$raw10" > "$out10"
+
+echo "== wrote $out10"
+cat "$out10"

@@ -5,6 +5,8 @@
 # the metrics stress test (/metrics scraped while concurrent queries run),
 # the differential harness, the living-dataset ingest suite (snapshot
 # isolation, delta==full view maintenance, R-tree insert-during-query),
+# the out-of-core suite (scratch manager, budget-sweep differential,
+# spill hygiene + chaos, degraded admission),
 # and parser + chunk-extractor fuzz smokes.
 # Mirrors `make check` for environments without make.
 set -eu
@@ -49,6 +51,13 @@ go test -race -count=1 -run TestMetricsScrapeDuringServiceBench .
 
 echo "== go test -race (differential harness: streaming==materialized, IJ==GH, faulted leg)"
 go test -race -count=1 -run TestDifferential ./internal/planner
+
+echo "== go test -race (out-of-core: scratch manager, budget sweep, spill hygiene, degraded admission, chaos spill)"
+go test -race -count=1 ./internal/scratch
+go test -race -count=1 -run 'TestBudgetSweep|TestScratchReaped|TestExplainSpillAnnotations' ./internal/planner
+go test -race -count=1 -run 'TestDegradedAdmission|TestStrictRejectsOverBudget' ./internal/service
+go test -race -count=1 -run 'TestSpillUnderChaos' ./internal/chaos
+go test -race -count=1 -run 'TestJoinPairSpill' ./internal/hashjoin
 
 echo "== go test -race (wire codec: compressed vs row-major byte-identical, incl. faulted leg)"
 go test -race -count=1 -run 'TestGoldenCorpusWireInvariant|TestDifferentialWire|TestWire' ./internal/planner ./internal/cluster ./internal/colenc
